@@ -1,0 +1,46 @@
+// Command hccbench reproduces the paper's tables and figures on the
+// simulator. Run with no arguments to list figures; pass figure ids (or
+// "all") to generate them; -csv emits CSV instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hccsim/internal/figures"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hccbench [-csv] <figure-id>... | all\n\nfigures:\n")
+		for _, id := range figures.IDs() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", id, figures.Describe(id))
+		}
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = figures.IDs()
+	}
+	for _, id := range args {
+		table, err := figures.Generate(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(table.String())
+	}
+}

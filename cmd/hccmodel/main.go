@@ -1,0 +1,71 @@
+// Command hccmodel fits the paper's Section V performance model to an
+// application in both CC modes and reports the decomposition, the CC/base
+// component ratios, and the Observation 6 classification (launch-bound vs
+// compute-hidden, by kernel-to-launch ratio).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"hccsim/internal/core"
+	"hccsim/internal/cuda"
+	"hccsim/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "", "application to model (empty = whole suite summary)")
+	uvm := flag.Bool("uvm", false, "use the UVM variant")
+	flag.Parse()
+
+	if *app != "" {
+		spec, err := workloads.ByName(*app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		one(spec, *uvm)
+		return
+	}
+	suite()
+}
+
+func one(spec workloads.Spec, uvm bool) {
+	mode := workloads.CopyExecute
+	if uvm {
+		mode = workloads.UVM
+	}
+	base := workloads.Execute(spec, mode, cuda.DefaultConfig(false))
+	cc := workloads.Execute(spec, mode, cuda.DefaultConfig(true))
+	mb := core.Decompose(base.Runtime.Tracer())
+	mc := core.Decompose(cc.Runtime.Tracer())
+
+	fmt.Printf("%s (%s)\n", spec.Name, mode)
+	fmt.Printf("  base: %s\n", mb)
+	fmt.Printf("  cc:   %s\n", mc)
+	r := core.Compare(mb, mc)
+	fmt.Printf("  CC/base ratios: Tmem %.2fx  KLO %.2fx  LQT %.2fx  KQT %.2fx  KET %.2fx  alloc %.2fx  free %.2fx  total %.2fx\n",
+		r.Tmem, r.KLO, r.LQT, r.KQT, r.KET, r.Alloc, r.Free, r.Total)
+	fmt.Printf("  prediction check: base %v vs %v, cc %v vs %v\n",
+		mb.Predict(), mb.Total, mc.Predict(), mc.Total)
+}
+
+func suite() {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "APP\tKLR(base)\tKLR(cc)\tREGIME\tCC-TOTAL/BASE")
+	for _, spec := range workloads.All() {
+		base := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(false))
+		cc := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(true))
+		mb := core.Decompose(base.Runtime.Tracer())
+		mc := core.Decompose(cc.Runtime.Tracer())
+		regime := "compute-hidden"
+		if mc.LaunchBound() {
+			regime = "launch-bound"
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%s\t%.2fx\n",
+			spec.Name, mb.KLR(), mc.KLR(), regime, float64(mc.Total)/float64(mb.Total))
+	}
+	w.Flush()
+}

@@ -1,0 +1,70 @@
+// Kernel fusion under CC (Sec. VII-A): a pipeline of many short kernels is
+// launch-bound, and the CC launch tax makes it worse. Source-level fusion
+// and CUDA-graph launch fusion both help — but fusing everything into one
+// kernel backfires because the fused module's upload grows.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hccsim"
+)
+
+const (
+	pieces    = 256
+	pieceKET  = 20 * time.Microsecond
+	pieceCode = int64(32 << 10)
+)
+
+// pipeline builds the kernel list at a given fusion level: `fuse` original
+// kernels are merged per launch.
+func pipeline(fuse int) []hccsim.KernelSpec {
+	// Iterative pipelines re-launch one kernel (3dconv-style), so every
+	// fusion level carries a single module whose code grows with fusion.
+	n := pieces / fuse
+	specs := make([]hccsim.KernelSpec, n)
+	for i := range specs {
+		specs[i] = hccsim.KernelSpec{
+			Name:      fmt.Sprintf("stageX%d", fuse),
+			Fixed:     time.Duration(fuse) * pieceKET,
+			CodeBytes: int64(fuse) * pieceCode,
+		}
+	}
+	return specs
+}
+
+func runLoop(cc bool, fuse int) time.Duration {
+	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
+	return sys.Run(func(c *hccsim.Context) {
+		for _, s := range pipeline(fuse) {
+			c.Launch(s, nil)
+		}
+		c.Sync()
+	})
+}
+
+func runGraph(cc bool) time.Duration {
+	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
+	return sys.Run(func(c *hccsim.Context) {
+		g := c.GraphCreate(pipeline(1))
+		g.Launch(nil)
+		c.Sync()
+	})
+}
+
+func main() {
+	fmt.Printf("pipeline of %d kernels, %v each (total KET %v)\n\n",
+		pieces, pieceKET, pieces*pieceKET)
+	fmt.Printf("%-22s %12s %12s %8s\n", "strategy", "CC-off", "CC-on", "cc/base")
+	for _, fuse := range []int{1, 4, 16, 64, 256} {
+		base := runLoop(false, fuse)
+		cc := runLoop(true, fuse)
+		label := fmt.Sprintf("fuse %3dx (%3d launches)", fuse, pieces/fuse)
+		fmt.Printf("%-22s %12v %12v %7.2fx\n", label, base, cc, float64(cc)/float64(base))
+	}
+	gb, gc := runGraph(false), runGraph(true)
+	fmt.Printf("%-22s %12v %12v %7.2fx\n", "cudaGraph (1 submit)", gb, gc, float64(gc)/float64(gb))
+	fmt.Println("\nmoderate fusion wins; full fusion pays a large module upload,")
+	fmt.Println("and the sweet spot shifts under CC (Observation 7).")
+}

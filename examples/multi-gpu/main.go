@@ -1,0 +1,61 @@
+// Multi-GPU under CC: moving tensors between two H100s. Without a
+// protected NVLink, confidential computing forces peer traffic through the
+// trust domain — decrypted off one link, re-encrypted onto the other — so
+// the software cipher is paid twice. With NVLink, both GPUs attest into
+// the same TCB and the bridge runs at full rate in either mode.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hccsim/internal/cuda"
+	"hccsim/internal/sim"
+)
+
+const transfer = int64(1) << 30
+
+func run(cc, nvlink bool) (time.Duration, uint64, int64) {
+	eng := sim.NewEngine()
+	cfg := cuda.DefaultConfig(cc)
+	rt := cuda.New(eng, cfg)
+	rt.AddDevice(cfg.PCIe, cfg.HBM, cfg.GPU)
+	if nvlink {
+		rt.SetNVLink(cuda.DefaultNVLink())
+	}
+	var total time.Duration
+	eng.Spawn("p2p", func(p *sim.Proc) {
+		c := rt.Bind(p)
+		a := c.MallocOn(0, "gpu0.tensor", transfer)
+		b := c.MallocOn(1, "gpu1.tensor", transfer)
+		start := p.Now()
+		c.MemcpyPeer(b, a, transfer)
+		total = time.Duration(p.Now() - start)
+	})
+	eng.Run()
+	st := rt.Platform().Stats()
+	return total, st.Hypercalls, st.BytesEncrypted + st.BytesDecrypted
+}
+
+func main() {
+	fmt.Printf("moving a %d GiB tensor from GPU 0 to GPU 1\n\n", transfer>>30)
+	fmt.Printf("%-22s %12s %12s %14s %16s\n", "path", "time", "GB/s", "hypercalls", "cipher bytes")
+	for _, cfg := range []struct {
+		name       string
+		cc, nvlink bool
+	}{
+		{"PCIe staged, CC-off", false, false},
+		{"PCIe staged, CC-on", true, false},
+		{"NVLink, CC-off", false, true},
+		{"NVLink, CC-on", true, true},
+	} {
+		total, hypercalls, crypted := run(cfg.cc, cfg.nvlink)
+		gbps := float64(transfer) / total.Seconds() / 1e9
+		fmt.Printf("%-22s %12v %12.1f %14d %13.1f GiB\n",
+			cfg.name, total.Round(time.Microsecond), gbps, hypercalls,
+			float64(crypted)/(1<<30))
+	}
+	fmt.Println("\nCC on the staged path runs the data through the software cipher")
+	fmt.Println("twice (decrypt D2H, re-encrypt H2D); NVLink is CC-neutral because")
+	fmt.Println("both devices sit inside the attested trust boundary.")
+}

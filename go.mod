@@ -1,0 +1,3 @@
+module hccsim
+
+go 1.24

@@ -1,0 +1,200 @@
+// Package hccsim is a discrete-event simulator of a CPU-GPU confidential
+// computing system — an Intel TDX trust domain with an H100-class GPU
+// passed through — built to reproduce the ISPASS 2025 paper "Dissecting
+// Performance Overheads of Confidential Computing on GPU-based Systems".
+//
+// The package is the public facade over the internal layers:
+//
+//	sim       deterministic discrete-event engine
+//	swcrypto  software AES-GCM / GHASH / AES-XTS substrate
+//	tdx       trust-domain model (hypercalls, bounce buffers, SEPT, TME-MK)
+//	pcie/hbm  interconnect and device memory
+//	gpu/gmmu  command processor, engines, kernel roofline
+//	uvm       unified virtual memory and encrypted paging
+//	cuda      CUDA-like runtime API (the surface applications program to)
+//	trace     Nsight-style event recording and KLO/LQT/KQT/KET analysis
+//	core      the paper's Section V performance model
+//	workloads Rodinia/Polybench/UVMBench/GraphBIG/Tigr analogues
+//	nn        CNN training and Llama-3-8B inference models
+//	figures   one generator per paper figure
+//
+// A minimal session:
+//
+//	sys := hccsim.NewSystem(hccsim.DefaultConfig(true)) // CC on
+//	elapsed := sys.Run(func(c *hccsim.Context) {
+//	    h := c.HostBuffer("in", 64<<20)
+//	    d := c.Malloc("buf", 64<<20)
+//	    c.Memcpy(d, h, 64<<20)
+//	    c.Launch(hccsim.KernelSpec{Name: "k", FLOPs: 1e10, MemBytes: 128 << 20,
+//	        Blocks: 2048, ThreadsPerBlock: 256}, nil)
+//	    c.Sync()
+//	    c.Free(d)
+//	})
+//	model := sys.Model() // P = (1-α)A + B + (1-β)C + D decomposition
+package hccsim
+
+import (
+	"time"
+
+	"hccsim/internal/core"
+	"hccsim/internal/cuda"
+	"hccsim/internal/figures"
+	"hccsim/internal/gpu"
+	"hccsim/internal/nn"
+	"hccsim/internal/sim"
+	"hccsim/internal/trace"
+	"hccsim/internal/workloads"
+)
+
+// Re-exported types: the facade aliases the working types of the internal
+// layers so applications in this module program against one import.
+type (
+	// Config assembles all layer parameters of one simulated system.
+	Config = cuda.Config
+	// Context is the CUDA-like API surface bound to a host process.
+	Context = cuda.Context
+	// Buffer is a device, host or managed allocation.
+	Buffer = cuda.Buffer
+	// Stream is a CUDA stream.
+	Stream = cuda.Stream
+	// KernelSpec declares a kernel's work (roofline or fixed duration).
+	KernelSpec = gpu.KernelSpec
+	// ManagedAccess declares UVM ranges a kernel touches.
+	ManagedAccess = gpu.ManagedAccess
+	// Model is the paper's Section V performance-model decomposition.
+	Model = core.Model
+	// Metrics are per-run KLO/LQT/KQT/KET and copy/alloc aggregates.
+	Metrics = trace.Metrics
+	// Table is one reproduced figure.
+	Table = figures.Table
+	// Workload is a benchmark application specification.
+	Workload = workloads.Spec
+)
+
+// DefaultConfig returns the paper's Table I system (dual Xeon 6530 + H100
+// NVL over PCIe 5.0) with confidential computing on or off.
+func DefaultConfig(cc bool) Config { return cuda.DefaultConfig(cc) }
+
+// System is one simulated guest (legacy VM or TD) with a GPU attached.
+type System struct {
+	eng *sim.Engine
+	rt  *cuda.Runtime
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg Config) *System {
+	eng := sim.NewEngine()
+	return &System{eng: eng, rt: cuda.New(eng, cfg)}
+}
+
+// CC reports whether the system runs in confidential-computing mode.
+func (s *System) CC() bool { return s.rt.CC() }
+
+// Run executes app as the host program and returns the simulated elapsed
+// time. Run may be called once per System; build a fresh System per run.
+func (s *System) Run(app func(c *Context)) time.Duration {
+	start := s.eng.Now()
+	s.eng.Spawn("host", func(p *sim.Proc) {
+		app(s.rt.Bind(p))
+	})
+	end := s.eng.Run()
+	return end.Sub(start)
+}
+
+// Metrics analyzes the recorded trace (valid after Run).
+func (s *System) Metrics() Metrics { return s.rt.Metrics() }
+
+// Model fits the paper's performance model to the recorded trace.
+func (s *System) Model() Model { return core.Decompose(s.rt.Tracer()) }
+
+// Tracer exposes the raw Nsight-style event trace.
+func (s *System) Tracer() *trace.Tracer { return s.rt.Tracer() }
+
+// Runtime exposes the underlying CUDA-like runtime for advanced use
+// (call-stack reports, substrate statistics).
+func (s *System) Runtime() *cuda.Runtime { return s.rt }
+
+// CompareModes runs the same application CC-off and CC-on and returns both
+// fitted models plus the component-wise CC/base ratios.
+func CompareModes(cfg Config, app func(c *Context)) (base, cc Model, ratio core.Ratio) {
+	off := cfg
+	off.CC = false
+	on := cfg
+	on.CC = true
+	sb := NewSystem(off)
+	sb.Run(app)
+	sc := NewSystem(on)
+	sc.Run(app)
+	base = sb.Model()
+	cc = sc.Model()
+	return base, cc, core.Compare(base, cc)
+}
+
+// Workloads returns the benchmark suite (Rodinia/Polybench/UVMBench/
+// GraphBIG/Tigr analogues).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName looks up one application.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// RunWorkload executes a named application and returns its fitted model.
+// uvm selects the managed-memory variant where the app supports it.
+func RunWorkload(name string, uvm, cc bool) (Model, error) {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return Model{}, err
+	}
+	mode := workloads.CopyExecute
+	if uvm {
+		mode = workloads.UVM
+	}
+	res := workloads.Execute(spec, mode, cuda.DefaultConfig(cc))
+	return core.Decompose(res.Runtime.Tracer()), nil
+}
+
+// FigureIDs lists every reproducible figure.
+func FigureIDs() []string { return figures.IDs() }
+
+// Figure reproduces one paper figure by id (e.g. "fig5", "fig13").
+func Figure(id string) (Table, error) { return figures.Generate(id) }
+
+// TrainCNN runs one Fig. 13 training configuration; model names follow the
+// paper (vgg16, resnet50, mobilenetv2, squeezenet, attention92, inceptionv4).
+func TrainCNN(model string, batch int, precision string, cc bool) (nn.TrainResult, error) {
+	m, err := nn.ModelByName(model)
+	if err != nil {
+		return nn.TrainResult{}, err
+	}
+	var prec nn.Precision
+	switch precision {
+	case "fp32":
+		prec = nn.FP32
+	case "amp":
+		prec = nn.AMP
+	case "fp16":
+		prec = nn.FP16
+	default:
+		return nn.TrainResult{}, &UnknownPrecisionError{Precision: precision}
+	}
+	return nn.TrainSimulate(nn.TrainConfig{Model: m, Batch: batch, Precision: prec, CC: cc}), nil
+}
+
+// ServeLLM runs one Fig. 14 inference configuration (backend "hf" or
+// "vllm"; quant "bf16" or "awq").
+func ServeLLM(backend, quant string, batch int, cc bool) nn.LLMResult {
+	cfg := nn.LLMConfig{Batch: batch, CC: cc}
+	if backend == "vllm" {
+		cfg.Backend = nn.VLLM
+	}
+	if quant == "awq" {
+		cfg.Quant = nn.AWQ
+	}
+	return nn.LLMSimulate(cfg)
+}
+
+// UnknownPrecisionError reports an unrecognized CNN precision name.
+type UnknownPrecisionError struct{ Precision string }
+
+func (e *UnknownPrecisionError) Error() string {
+	return "hccsim: unknown precision " + e.Precision + " (want fp32, amp or fp16)"
+}

@@ -1,0 +1,110 @@
+package hccsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuickstartSession(t *testing.T) {
+	for _, cc := range []bool{false, true} {
+		sys := NewSystem(DefaultConfig(cc))
+		elapsed := sys.Run(func(c *Context) {
+			h := c.HostBuffer("in", 64<<20)
+			d := c.Malloc("buf", 64<<20)
+			c.Memcpy(d, h, 64<<20)
+			c.Launch(KernelSpec{Name: "k", FLOPs: 1e10, MemBytes: 128 << 20,
+				Blocks: 2048, ThreadsPerBlock: 256}, nil)
+			c.Sync()
+			c.Memcpy(h, d, 64<<20)
+			c.Free(d)
+		})
+		if elapsed <= 0 {
+			t.Fatalf("cc=%v: no simulated time elapsed", cc)
+		}
+		m := sys.Model()
+		if m.Kernels != 1 || m.Launches != 1 {
+			t.Fatalf("cc=%v: model counted %d kernels, %d launches", cc, m.Kernels, m.Launches)
+		}
+		if m.Tmem <= 0 || m.Total <= 0 {
+			t.Fatalf("cc=%v: empty model %+v", cc, m)
+		}
+	}
+}
+
+func TestCompareModes(t *testing.T) {
+	app := func(c *Context) {
+		h := c.HostBuffer("in", 32<<20)
+		d := c.Malloc("buf", 32<<20)
+		c.Memcpy(d, h, 32<<20)
+		for i := 0; i < 10; i++ {
+			c.Launch(KernelSpec{Name: "k", Fixed: 100 * time.Microsecond}, nil)
+		}
+		c.Sync()
+		c.Free(d)
+	}
+	base, cc, ratio := CompareModes(DefaultConfig(false), app)
+	if cc.Total <= base.Total {
+		t.Fatalf("CC total (%v) not above base (%v)", cc.Total, base.Total)
+	}
+	if ratio.Tmem <= 1 || ratio.Total <= 1 {
+		t.Fatalf("CC ratios not above 1: %+v", ratio)
+	}
+	if ratio.KET != 1 {
+		t.Fatalf("non-UVM KET ratio %v, want exactly 1", ratio.KET)
+	}
+}
+
+func TestWorkloadAccess(t *testing.T) {
+	if len(Workloads()) < 25 {
+		t.Fatalf("%d workloads", len(Workloads()))
+	}
+	if _, err := WorkloadByName("sc"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunWorkload("2mm", false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernels != 2 {
+		t.Fatalf("2mm model has %d kernels", m.Kernels)
+	}
+	if _, err := RunWorkload("nope", false, false); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestFigureAccess(t *testing.T) {
+	if len(FigureIDs()) < 15 {
+		t.Fatalf("%d figures", len(FigureIDs()))
+	}
+	tab, err := Figure("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("fig8 empty")
+	}
+	if _, err := Figure("bogus"); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestNNAccess(t *testing.T) {
+	r, err := TrainCNN("resnet50", 64, "fp32", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Throughput <= 0 {
+		t.Fatalf("bad training result %+v", r)
+	}
+	if _, err := TrainCNN("resnet50", 64, "int8", true); err == nil {
+		t.Fatal("expected error for unknown precision")
+	}
+	if _, err := TrainCNN("alexnet", 64, "fp32", true); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	l := ServeLLM("vllm", "awq", 8, true)
+	if l.TokensPerSec <= 0 {
+		t.Fatalf("bad LLM result %+v", l)
+	}
+}

@@ -1,0 +1,47 @@
+package figures
+
+// Golden-file regression tests: the simulator is deterministic, so every
+// figure that doesn't measure the local machine must render identically
+// run over run. Regenerate with:  go test ./internal/figures -run Golden -update
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenIDs are cheap, fully deterministic figures used as regression
+// anchors for the whole stack (substrate params + workloads + analyzers).
+var goldenIDs = []string{"fig8", "fig12a", "ext-primitives"}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Generate(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden output.\n--- got ---\n%s--- want ---\n%s", id, got, want)
+			}
+		})
+	}
+}

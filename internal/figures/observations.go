@@ -1,0 +1,139 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"hccsim/internal/workloads"
+)
+
+// SuiteAggregates are the headline CC/base ratios over the whole benchmark
+// suite — the quantities behind Observations 1-6.
+type SuiteAggregates struct {
+	CopyAvg, CopyMin, CopyMax      float64
+	CopyMaxApp                     string
+	KLOAvg, LQTAvg, KQTAvg         float64
+	KETNonUVMDelta                 float64 // fractional change, ~0
+	UVMBaseAvg, UVMCCAvg, UVMCCMax float64
+	UVMCCMaxApp                    string
+	DmallocRatio, HmallocRatio     float64
+	FreeRatio                      float64
+}
+
+// ComputeSuiteAggregates runs every application in both modes and derives
+// the suite-level ratios.
+func ComputeSuiteAggregates() SuiteAggregates {
+	var agg SuiteAggregates
+	agg.CopyMin = 1e18
+	var copySum float64
+	var copyN int
+	var kloSum, lqtSum, kqtSum float64
+	var kloN, lqtN, kqtN int
+	var ketDeltaSum float64
+	var ketN int
+	var dmB, dmC, hmB, hmC, frB, frC time.Duration
+
+	for _, spec := range workloads.All() {
+		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		mb, mc := base.Runtime.Metrics(), cc.Runtime.Metrics()
+
+		tb := mb.CopyH2D + mb.CopyD2H + mb.CopyD2D
+		tc := mc.CopyH2D + mc.CopyD2H + mc.CopyD2D
+		if tb > 0 {
+			r := ratioOf(tc, tb)
+			copySum += r
+			copyN++
+			if r < agg.CopyMin {
+				agg.CopyMin = r
+			}
+			if r > agg.CopyMax {
+				agg.CopyMax, agg.CopyMaxApp = r, spec.Name
+			}
+		}
+		if spec.Launches() > 1 {
+			if mb.KLO > 0 {
+				kloSum += ratioOf(mc.KLO, mb.KLO)
+				kloN++
+			}
+			if mb.LQT > 0 {
+				lqtSum += ratioOf(mc.LQT, mb.LQT)
+				lqtN++
+			}
+			if mb.KQT > 0 {
+				kqtSum += ratioOf(mc.KQT, mb.KQT)
+				kqtN++
+			}
+		}
+		if mb.KET > 0 {
+			ketDeltaSum += ratioOf(mc.KET, mb.KET) - 1
+			ketN++
+		}
+
+		hb, db, fb := allocSplit(base.Runtime)
+		hc, dc, fc := allocSplit(cc.Runtime)
+		hmB += hb
+		hmC += hc
+		dmB += db
+		dmC += dc
+		frB += fb
+		frC += fc
+	}
+	agg.CopyAvg = copySum / float64(copyN)
+	agg.KLOAvg = kloSum / float64(kloN)
+	agg.LQTAvg = lqtSum / float64(lqtN)
+	agg.KQTAvg = kqtSum / float64(kqtN)
+	agg.KETNonUVMDelta = ketDeltaSum / float64(ketN)
+	agg.DmallocRatio = ratioOf(dmC, dmB)
+	agg.HmallocRatio = ratioOf(hmC, hmB)
+	agg.FreeRatio = ratioOf(frC, frB)
+
+	var uvmBaseSum, uvmCCSum float64
+	var uvmN int
+	for _, spec := range workloads.UVMSuite() {
+		nb, _ := workloads.Pair(spec, workloads.CopyExecute)
+		ub, uc := workloads.Pair(spec, workloads.UVM)
+		ketBase := nb.Runtime.Metrics().KET
+		if ketBase <= 0 {
+			continue
+		}
+		rb := ratioOf(ub.Runtime.Metrics().KET, ketBase)
+		rc := ratioOf(uc.Runtime.Metrics().KET, ketBase)
+		uvmBaseSum += rb
+		uvmCCSum += rc
+		uvmN++
+		if rc > agg.UVMCCMax {
+			agg.UVMCCMax, agg.UVMCCMaxApp = rc, spec.Name
+		}
+	}
+	agg.UVMBaseAvg = uvmBaseSum / float64(uvmN)
+	agg.UVMCCAvg = uvmCCSum / float64(uvmN)
+	return agg
+}
+
+// Observations summarizes paper-vs-measured for every quantitative claim in
+// Observations 1-6 (7-9 are covered by the Fig. 12-14 generators).
+func Observations() Table {
+	a := ComputeSuiteAggregates()
+	t := Table{
+		ID:      "observations",
+		Title:   "Paper observations vs this reproduction",
+		Columns: []string{"observation", "paper", "measured"},
+	}
+	t.AddRow("Obs 3: copy time CC/base, suite average", "5.80x", fmt.Sprintf("%.2fx", a.CopyAvg))
+	t.AddRow("Obs 3: copy time CC/base, minimum", "1.17x (cnn)", fmt.Sprintf("%.2fx", a.CopyMin))
+	t.AddRow("Obs 3: copy time CC/base, maximum", "19.69x (2dconv)", fmt.Sprintf("%.2fx (%s)", a.CopyMax, a.CopyMaxApp))
+	t.AddRow("Sec VI-A: cudaMalloc CC/base", "5.67x", fmt.Sprintf("%.2fx", a.DmallocRatio))
+	t.AddRow("Sec VI-A: cudaMallocHost CC/base", "5.72x", fmt.Sprintf("%.2fx", a.HmallocRatio))
+	t.AddRow("Sec VI-A: cudaFree CC/base", "10.54x", fmt.Sprintf("%.2fx", a.FreeRatio))
+	t.AddRow("Obs 4: KLO CC/base average", "1.42x", fmt.Sprintf("%.2fx", a.KLOAvg))
+	t.AddRow("Obs 4: LQT CC/base average", "1.43x", fmt.Sprintf("%.2fx", a.LQTAvg))
+	t.AddRow("Obs 4: KQT CC/base average", "2.32x", fmt.Sprintf("%.2fx", a.KQTAvg))
+	t.AddRow("Obs 5: non-UVM KET change under CC", "+0.48%", fmt.Sprintf("%+.2f%%", 100*a.KETNonUVMDelta))
+	t.AddRow("Obs 5: UVM KET vs non-UVM base (no CC)", "5.29x", fmt.Sprintf("%.2fx", a.UVMBaseAvg))
+	t.AddRow("Obs 5: UVM KET vs non-UVM base (CC)", "188.87x", fmt.Sprintf("%.1fx", a.UVMCCAvg))
+	t.AddRow("Obs 5: worst UVM-CC blow-up", "164030x (2dconv)", fmt.Sprintf("%.0fx (%s)", a.UVMCCMax, a.UVMCCMaxApp))
+	t.Notes = append(t.Notes,
+		"Obs 1/2 (bandwidth collapse, crypto bound) are quantified by fig4a/fig4b",
+		"Obs 6-9 (KLR, fusion, overlap, quantization) are quantified by fig10/fig12/fig13/fig14")
+	return t
+}

@@ -1,0 +1,86 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generator produces one reproduced figure.
+type Generator func() Table
+
+// registry maps figure ids to their generators, with short descriptions.
+var registry = map[string]struct {
+	gen  Generator
+	desc string
+}{
+	"fig1":         {Fig01Overview, "end-to-end timeline overview (ASCII Fig 1)"},
+	"fig4a":        {Fig04aBandwidth, "PCIe bandwidth vs transfer size (pageable/pinned x base/cc)"},
+	"fig4b":        {func() Table { return Fig04bCrypto(true) }, "single-core crypto throughput (calibrated + local measurement)"},
+	"fig5":         {Fig05CopyTime, "per-application copy time, base vs CC"},
+	"fig6":         {Fig06AllocFree, "per-application memory (de)allocation time"},
+	"fig7":         {Fig07LaunchQueue, "KLO/LQT/KQT normalized to non-CC"},
+	"fig8":         {Fig08CallStack, "cudaLaunchKernel call stack inside a TD"},
+	"fig9":         {Fig09KET, "kernel execution time, non-UVM and UVM"},
+	"fig10":        {Fig10Timelines, "launch/kernel timelines of representative apps"},
+	"fig11":        {Fig11CDFs, "KLO and KET CDFs"},
+	"fig12a":       {Fig12aLaunchSeries, "KLO vs launch index (K0 x100 then K1 x100)"},
+	"fig12b":       {Fig12bFusion, "kernel fusion sweep"},
+	"fig12c":       {Fig12cOverlap, "copy/compute overlap vs stream count"},
+	"fig13":        {Fig13CNN, "CNN training throughput and time"},
+	"fig14":        {Fig14LLM, "LLM inference throughput speedups"},
+	"observations": {Observations, "paper observations vs measured summary"},
+
+	// Extensions: the directions the paper's discussion opens.
+	"ext-teeio":         {ExtTEEIO, "TEE-IO / TDX Connect hardware-fix projection"},
+	"ext-cryptoworkers": {ExtCryptoWorkers, "parallelized copy-path encryption (PipeLLM direction)"},
+	"ext-graphbatch":    {ExtGraphBatch, "optimal cudaGraph batching under CC (Sec. VII-A future work)"},
+	"ext-prefetch":      {ExtPrefetch, "UVM prefetch vs fault-driven encrypted paging"},
+	"ext-primitives":    {ExtPrimitives, "raw CPU-TEE primitive costs (TDX vs SEV-SNP)"},
+	"ext-multigpu":      {ExtMultiGPU, "inter-GPU transfers under CC (host-staged vs NVLink)"},
+	"ext-cnnbatch":      {ExtCNNBatchSweep, "CC training loss vs batch size (between the paper's 64 and 1024)"},
+	"ext-llmprefill":    {ExtLLMPrefill, "LLM time-to-first-token: warm vs cold start under CC"},
+	"ext-startup":       {ExtStartup, "one-time deployment costs: TD boot, SPDM, context init"},
+}
+
+// displayOrder lists the paper's figures first, then the summary, then the
+// extension experiments.
+var displayOrder = []string{
+	"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "observations",
+	"ext-teeio", "ext-cryptoworkers", "ext-graphbatch", "ext-prefetch",
+	"ext-primitives", "ext-multigpu", "ext-cnnbatch", "ext-llmprefill", "ext-startup",
+}
+
+// IDs returns all figure ids in display order (any id missing from the
+// curated order is appended alphabetically, so new registrations never
+// disappear).
+func IDs() []string {
+	seen := make(map[string]bool, len(registry))
+	out := make([]string, 0, len(registry))
+	for _, id := range displayOrder {
+		if _, ok := registry[id]; ok && !seen[id] {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	var rest []string
+	for id := range registry {
+		if !seen[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// Describe returns the one-line description of a figure id.
+func Describe(id string) string { return registry[id].desc }
+
+// Generate runs the generator for id.
+func Generate(id string) (Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("figures: unknown figure %q (known: %v)", id, IDs())
+	}
+	return e.gen(), nil
+}

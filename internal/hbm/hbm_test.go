@@ -1,0 +1,219 @@
+package hbm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testParams() Params {
+	return Params{CapacityBytes: 1 << 20, BandwidthGBps: 3900, AlignBytes: 1 << 10}
+}
+
+func TestAllocAlignsAndAccounts(t *testing.T) {
+	a := NewAllocator(testParams())
+	off, err := a.Alloc(100) // rounds to 1 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("first alloc at %d, want 0", off)
+	}
+	if a.Used() != 1<<10 {
+		t.Fatalf("used=%d, want 1024", a.Used())
+	}
+	if s, ok := a.SizeOf(off); !ok || s != 1<<10 {
+		t.Fatalf("SizeOf = %d,%v", s, ok)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocRejectsBadSize(t *testing.T) {
+	a := NewAllocator(testParams())
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := NewAllocator(testParams())
+	if _, err := a.Alloc(2 << 20); err == nil {
+		t.Fatal("expected OOM")
+	}
+	// Fill exactly, then one more byte fails.
+	if _, err := a.Alloc(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("expected OOM when full")
+	}
+}
+
+func TestReleaseUnknownOffset(t *testing.T) {
+	a := NewAllocator(testParams())
+	if err := a.Release(12345); err == nil {
+		t.Fatal("expected error releasing unknown offset")
+	}
+}
+
+func TestCoalescingRestoresFullExtent(t *testing.T) {
+	a := NewAllocator(testParams())
+	var offs []int64
+	for i := 0; i < 4; i++ {
+		off, err := a.Alloc(1 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Free out of order: middle, ends, middle.
+	for _, i := range []int{2, 0, 3, 1} {
+		if err := a.Release(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FragmentCount() != 1 {
+		t.Fatalf("free list has %d fragments after full release, want 1", a.FragmentCount())
+	}
+	if a.Used() != 0 {
+		t.Fatalf("used=%d after full release", a.Used())
+	}
+}
+
+func TestFragmentationThenReuse(t *testing.T) {
+	a := NewAllocator(testParams())
+	var offs []int64
+	for i := 0; i < 8; i++ {
+		off, _ := a.Alloc(64 << 10) // 8 x 64KiB fills 512KiB
+		offs = append(offs, off)
+	}
+	// Free every other block: four 64KiB holes.
+	for i := 0; i < 8; i += 2 {
+		_ = a.Release(offs[i])
+	}
+	if a.FragmentCount() < 4 {
+		t.Fatalf("expected >=4 fragments, got %d", a.FragmentCount())
+	}
+	// A 128KiB request cannot fit a 64KiB hole; it must come from the tail.
+	off, err := a.Alloc(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 512<<10 {
+		t.Fatalf("128KiB landed in a 64KiB hole at %d", off)
+	}
+	// A 64KiB request reuses the first hole (first fit).
+	off2, err := a.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off2 != offs[0] {
+		t.Fatalf("first-fit violated: got %d, want %d", off2, offs[0])
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	a := NewAllocator(testParams())
+	o1, _ := a.Alloc(100 << 10)
+	o2, _ := a.Alloc(200 << 10)
+	_ = a.Release(o1)
+	_ = a.Release(o2)
+	if a.Peak() != 300<<10 {
+		t.Fatalf("peak=%d, want %d", a.Peak(), 300<<10)
+	}
+}
+
+// Property: any interleaving of allocs and frees preserves the allocator
+// invariants, and a full teardown returns to one free extent.
+func TestPropertyAllocatorInvariants(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(testParams())
+		var live []int64
+		for i := 0; i < int(ops)+10; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				if a.Release(live[k]) != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				size := int64(rng.Intn(100<<10) + 1)
+				off, err := a.Alloc(size)
+				if err == nil {
+					live = append(live, off)
+				}
+			}
+			if a.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for _, off := range live {
+			if a.Release(off) != nil {
+				return false
+			}
+		}
+		return a.CheckInvariants() == nil && a.Used() == 0 && a.FragmentCount() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no two live allocations overlap.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAllocator(testParams())
+		type span struct{ off, size int64 }
+		var spans []span
+		for i := 0; i < 30; i++ {
+			size := int64(rng.Intn(60<<10) + 1)
+			off, err := a.Alloc(size)
+			if err != nil {
+				continue
+			}
+			n, _ := a.SizeOf(off)
+			spans = append(spans, span{off, n})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				x, y := spans[i], spans[j]
+				if x.off < y.off+y.size && y.off < x.off+x.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.CapacityBytes != 94<<30 {
+		t.Fatalf("H100 NVL capacity = %d, want 94 GiB", p.CapacityBytes)
+	}
+	if p.BandwidthGBps < 3000 {
+		t.Fatalf("HBM3 bandwidth %.0f too low", p.BandwidthGBps)
+	}
+}
+
+func TestNewAllocatorPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAllocator(Params{CapacityBytes: 0, AlignBytes: 0})
+}

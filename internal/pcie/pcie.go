@@ -1,0 +1,108 @@
+// Package pcie models the PCIe Gen5 x16 link between the host and the GPU:
+// full-duplex DMA bandwidth with per-transaction latency, and the one-time
+// SPDM session establishment CC uses to attest the device (PCIe 5.0 has no
+// native IDE, so NVIDIA layers SPDM + AES-GCM on top).
+package pcie
+
+import (
+	"time"
+
+	"hccsim/internal/sim"
+)
+
+// Direction of a transfer relative to the host.
+type Direction int
+
+// Transfer directions.
+const (
+	H2D Direction = iota // host to device
+	D2H                  // device to host
+)
+
+func (d Direction) String() string {
+	if d == H2D {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Params holds the calibrated link constants.
+type Params struct {
+	// EffectiveGBps is the achievable DMA rate per direction after
+	// encoding/TLP/flow-control overheads (PCIe 5.0 x16 raw is 64 GB/s).
+	EffectiveGBps float64
+	// TransactionLatency is the fixed setup cost per DMA transaction
+	// (descriptor fetch, engine kick, completion signalling).
+	TransactionLatency time.Duration
+	// SPDMSession is the one-time attestation/session-key establishment
+	// cost when the GPU is bound to a TD in CC mode.
+	SPDMSession time.Duration
+}
+
+// DefaultParams returns constants calibrated to the paper's testbed
+// (H100 NVL, PCIe 5.0 x16).
+func DefaultParams() Params {
+	return Params{
+		EffectiveGBps:      52.0,
+		TransactionLatency: 1800 * time.Nanosecond,
+		SPDMSession:        180 * time.Millisecond,
+	}
+}
+
+// Link is the full-duplex PCIe connection. Each direction is an independent
+// serial resource: concurrent DMAs in the same direction queue FIFO, while
+// opposite directions proceed in parallel.
+type Link struct {
+	eng    *sim.Engine
+	params Params
+	dir    [2]*sim.Resource
+	moved  [2]int64
+	xfers  [2]uint64
+}
+
+// NewLink creates a link bound to the engine.
+func NewLink(eng *sim.Engine, params Params) *Link {
+	return &Link{
+		eng:    eng,
+		params: params,
+		dir:    [2]*sim.Resource{sim.NewResource(eng, 1), sim.NewResource(eng, 1)},
+	}
+}
+
+// Params returns the link constants.
+func (l *Link) Params() Params { return l.params }
+
+// TransferTime returns the modelled duration for n bytes in one transaction,
+// excluding queuing.
+func (l *Link) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	stream := float64(n) / (l.params.EffectiveGBps * 1e9)
+	return l.params.TransactionLatency + time.Duration(stream*float64(time.Second))
+}
+
+// Transfer moves n bytes in direction d, charging queueing plus transfer
+// time to the calling process.
+func (l *Link) Transfer(p *sim.Proc, d Direction, n int64) {
+	r := l.dir[d]
+	r.Acquire(p)
+	p.Sleep(l.TransferTime(n))
+	r.Release()
+	l.moved[d] += n
+	l.xfers[d]++
+}
+
+// BytesMoved returns the cumulative bytes DMAed in direction d.
+func (l *Link) BytesMoved(d Direction) int64 { return l.moved[d] }
+
+// Transfers returns the number of DMA transactions completed in direction d.
+func (l *Link) Transfers(d Direction) uint64 { return l.xfers[d] }
+
+// Busy returns cumulative busy time of direction d, for utilization reports.
+func (l *Link) Busy(d Direction) time.Duration { return l.dir[d].BusyTime() }
+
+// EstablishSPDM charges the one-time SPDM attestation handshake.
+func (l *Link) EstablishSPDM(p *sim.Proc) {
+	p.Sleep(l.params.SPDMSession)
+}

@@ -1,0 +1,133 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hccsim/internal/sim"
+)
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	l := NewLink(sim.NewEngine(), DefaultParams())
+	prev := time.Duration(0)
+	for _, n := range []int64{0, 64, 4096, 1 << 20, 1 << 30} {
+		d := l.TransferTime(n)
+		if d < prev {
+			t.Fatalf("TransferTime(%d)=%v < previous %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLargeTransferApproachesLinkRate(t *testing.T) {
+	l := NewLink(sim.NewEngine(), DefaultParams())
+	n := int64(1 << 30)
+	d := l.TransferTime(n)
+	gbps := float64(n) / d.Seconds() / 1e9
+	if gbps < 0.98*DefaultParams().EffectiveGBps || gbps > DefaultParams().EffectiveGBps {
+		t.Fatalf("1GiB effective rate %.2f GB/s, want just under %.2f", gbps, DefaultParams().EffectiveGBps)
+	}
+}
+
+func TestSmallTransferLatencyBound(t *testing.T) {
+	l := NewLink(sim.NewEngine(), DefaultParams())
+	d := l.TransferTime(64)
+	if d < DefaultParams().TransactionLatency {
+		t.Fatalf("64B transfer %v under transaction latency", d)
+	}
+	gbps := 64.0 / d.Seconds() / 1e9
+	if gbps > 1.0 {
+		t.Fatalf("64B transfer achieved %.3f GB/s; should be latency-dominated", gbps)
+	}
+}
+
+func TestSameDirectionSerializesOppositeOverlaps(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, DefaultParams())
+	n := int64(100 << 20)
+	single := l.TransferTime(n)
+
+	// Two H2D transfers: serialized.
+	var h2dEnd sim.Time
+	eng.Spawn("a", func(p *sim.Proc) { l.Transfer(p, H2D, n) })
+	eng.Spawn("b", func(p *sim.Proc) { l.Transfer(p, H2D, n); h2dEnd = p.Now() })
+	eng.Run()
+	if time.Duration(h2dEnd) < 2*single {
+		t.Fatalf("same-direction transfers overlapped: end %v < %v", h2dEnd, 2*single)
+	}
+
+	// H2D + D2H: full duplex, finish together.
+	eng2 := sim.NewEngine()
+	l2 := NewLink(eng2, DefaultParams())
+	var aEnd, bEnd sim.Time
+	eng2.Spawn("a", func(p *sim.Proc) { l2.Transfer(p, H2D, n); aEnd = p.Now() })
+	eng2.Spawn("b", func(p *sim.Proc) { l2.Transfer(p, D2H, n); bEnd = p.Now() })
+	eng2.Run()
+	if aEnd != bEnd || time.Duration(aEnd) > single+time.Microsecond {
+		t.Fatalf("duplex transfers did not overlap: %v / %v (single=%v)", aEnd, bEnd, single)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, DefaultParams())
+	eng.Spawn("a", func(p *sim.Proc) {
+		l.Transfer(p, H2D, 1000)
+		l.Transfer(p, H2D, 2000)
+		l.Transfer(p, D2H, 500)
+	})
+	eng.Run()
+	if l.BytesMoved(H2D) != 3000 || l.BytesMoved(D2H) != 500 {
+		t.Fatalf("bytes moved: h2d=%d d2h=%d", l.BytesMoved(H2D), l.BytesMoved(D2H))
+	}
+	if l.Transfers(H2D) != 2 || l.Transfers(D2H) != 1 {
+		t.Fatalf("transfer counts: %d/%d", l.Transfers(H2D), l.Transfers(D2H))
+	}
+	if l.Busy(H2D) <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+// Property: N serialized same-direction transfers take exactly N times one.
+func TestPropertySerialLinkAdditive(t *testing.T) {
+	f := func(count uint8, kb uint16) bool {
+		n := int(count%8) + 1
+		size := int64(kb)*1024 + 1
+		eng := sim.NewEngine()
+		l := NewLink(eng, DefaultParams())
+		for i := 0; i < n; i++ {
+			eng.Spawn("x", func(p *sim.Proc) { l.Transfer(p, H2D, size) })
+		}
+		end := eng.Run()
+		want := time.Duration(n) * l.TransferTime(size)
+		diff := time.Duration(end) - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Duration(n)*time.Nanosecond // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessorsAndSPDM(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewLink(eng, DefaultParams())
+	if l.Params().EffectiveGBps != DefaultParams().EffectiveGBps {
+		t.Fatal("Params accessor broken")
+	}
+	if H2D.String() != "H2D" || D2H.String() != "D2H" {
+		t.Fatal("Direction strings wrong")
+	}
+	eng.Spawn("attest", func(p *sim.Proc) { l.EstablishSPDM(p) })
+	end := eng.Run()
+	if time.Duration(end) != DefaultParams().SPDMSession {
+		t.Fatalf("SPDM handshake = %v, want %v", time.Duration(end), DefaultParams().SPDMSession)
+	}
+	// Negative sizes clamp to the per-transaction latency.
+	if l.TransferTime(-5) != DefaultParams().TransactionLatency {
+		t.Fatal("negative-size transfer not clamped")
+	}
+}

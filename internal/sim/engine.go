@@ -1,0 +1,145 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives a set of cooperating processes over a virtual clock.
+// Exactly one goroutine — either the engine loop or a single process — runs
+// at any moment; control is handed back and forth explicitly, so simulations
+// are fully deterministic and process code needs no locking.
+//
+// Processes are ordinary Go functions that receive a *Proc handle and use it
+// to sleep, wait on signals, acquire resources, and exchange items through
+// queues. Device models (command processors, copy engines, fault handlers)
+// and host programs (CUDA applications) are all written as processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the simulated clock, in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Duration is re-exported from the time package: simulated durations are
+// ordinary time.Durations, so literals like 5*time.Microsecond read naturally.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the instant as a duration offset from simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// engines with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	token   chan struct{} // control hand-back from the running process
+	procs   int           // processes spawned and not yet finished
+	blocked int           // processes currently waiting on something
+	running bool
+	fired   uint64
+}
+
+// NewEngine returns a fresh engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{token: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule registers fn to run at time e.Now()+d. It may be called from the
+// engine loop, from a process, or before Run. Scheduling in the past panics,
+// since it would break causality.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.scheduleAt(e.now.Add(d), fn)
+}
+
+func (e *Engine) scheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fire: fn})
+}
+
+// Run dispatches events until the queue is empty, then returns the final
+// simulated time. Processes that are still blocked when the queue drains are
+// deadlocked (they can never be resumed); Run panics in that case to surface
+// the modelling bug rather than silently dropping work.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.procs))
+	}
+	return e.now
+}
+
+// RunUntil dispatches events with timestamps <= deadline and then stops,
+// advancing the clock to the deadline. Blocked processes are left blocked.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,474 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Nanosecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Nanosecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Nanosecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != Time(30) {
+		t.Fatalf("end time = %v, want 30ns", end)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFOBySeq(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*time.Nanosecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Microsecond)
+		wake = p.Now()
+	})
+	e.Run()
+	if wake != Time(42*time.Microsecond) {
+		t.Fatalf("woke at %v, want 42µs", wake)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(10 * time.Nanosecond)
+				log = append(log, "a")
+			}
+		})
+		e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(15 * time.Nanosecond)
+				log = append(log, "b")
+			}
+		})
+		e.Run()
+		return log
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic run length")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic interleaving at %d: %v vs %v", j, first, again)
+			}
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var woke []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *Proc) {
+			s.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(100 * time.Nanosecond)
+		s.Fire()
+	})
+	e.Run()
+	if len(woke) != 4 {
+		t.Fatalf("woke %d waiters, want 4", len(woke))
+	}
+	for _, w := range woke {
+		if w != Time(100) {
+			t.Fatalf("waiter woke at %v, want 100ns", w)
+		}
+	}
+	if !s.Fired() || s.At() != Time(100) {
+		t.Fatalf("signal state wrong: fired=%v at=%v", s.Fired(), s.At())
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var at Time
+	e.Spawn("p", func(p *Proc) {
+		s.Fire()
+		p.Sleep(time.Nanosecond)
+		s.Wait(p) // already fired: no block
+		at = p.Now()
+	})
+	e.Run()
+	if at != Time(1) {
+		t.Fatalf("Wait on fired signal blocked: now=%v", at)
+	}
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Fire")
+		}
+	}()
+	s.Fire()
+	s.Fire()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 10*time.Nanosecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(ends) != 3 {
+		t.Fatalf("got %d completions", len(ends))
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("completion %d at %v, want %v", i, ends[i], want[i])
+		}
+	}
+	if bt := r.BusyTime(); bt != 30*time.Nanosecond {
+		t.Fatalf("busy time %v, want 30ns", bt)
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 10*time.Nanosecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	// Two run in [0,10], two in [10,20].
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends=%v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceFIFOFairness(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("u", func(p *Proc) {
+			p.Sleep(Duration(i) * time.Nanosecond) // arrive in index order
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(100 * time.Nanosecond)
+			r.Release()
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource not FIFO: %v", order)
+		}
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Release of idle resource")
+		}
+	}()
+	r.Release()
+}
+
+func TestQueueBlockingGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * time.Nanosecond)
+			q.Put(i)
+		}
+	})
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("queue out of order: %v", got)
+		}
+	}
+	if q.Puts() != 3 || q.Len() != 0 {
+		t.Fatalf("queue accounting wrong: puts=%d len=%d", q.Puts(), q.Len())
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue returned ok")
+	}
+	q.Put("x")
+	v, ok := q.TryGet()
+	if !ok || v.(string) != "x" {
+		t.Fatalf("TryGet = %v, %v", v, ok)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10*time.Nanosecond, func() { fired++ })
+	e.Schedule(30*time.Nanosecond, func() { fired++ })
+	now := e.RunUntil(Time(20))
+	if fired != 1 || now != Time(20) {
+		t.Fatalf("RunUntil: fired=%d now=%v", fired, now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d, want 1", e.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in sorted-by-time order and
+// the final clock equals the max delay.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fireTimes []Time
+		var maxD Duration
+		for _, d := range delays {
+			dd := Duration(d) * time.Nanosecond
+			if dd > maxD {
+				maxD = dd
+			}
+			e.Schedule(dd, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		end := e.Run()
+		if end != Time(maxD) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a capacity-1 resource, total busy time equals the sum of
+// hold durations and completions never overlap.
+func TestPropertySerialResourceConservation(t *testing.T) {
+	f := func(holds []uint8) bool {
+		e := NewEngine()
+		r := NewResource(e, 1)
+		var total Duration
+		for _, h := range holds {
+			d := Duration(h+1) * time.Nanosecond
+			total += d
+			e.Spawn("u", func(p *Proc) { r.Use(p, d) })
+		}
+		e.Run()
+		return r.BusyTime() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue preserves FIFO order for any random production schedule.
+func TestPropertyQueueFIFO(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		q := NewQueue(e)
+		count := int(n%50) + 1
+		var got []int
+		e.Spawn("c", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				got = append(got, q.Get(p).(int))
+			}
+		})
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				p.Sleep(Duration(rng.Intn(20)) * time.Nanosecond)
+				q.Put(i)
+			}
+		})
+		e.Run()
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Duration(j)*time.Nanosecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("switcher", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+func TestAccessorsAndDaemons(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	// A daemon blocked forever must not trip deadlock detection.
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	var name string
+	var eng *Engine
+	p := e.Spawn("worker", func(p *Proc) {
+		name = p.Name()
+		eng = p.Engine()
+		q.Put(1)
+		p.Sleep(time.Nanosecond)
+	})
+	end := e.Run()
+	if name != "worker" || eng != e || p.Name() != "worker" {
+		t.Fatal("proc accessors broken")
+	}
+	if end < Time(1) {
+		t.Fatalf("end = %v", end)
+	}
+	if e.Fired() == 0 {
+		t.Fatal("no events counted")
+	}
+	if Time(1500).String() == "" {
+		t.Fatal("empty Time string")
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine()
+	s1, s2 := NewSignal(e), NewSignal(e)
+	var at Time
+	e.Spawn("waiter", func(p *Proc) {
+		WaitAll(p, s1, s2)
+		at = p.Now()
+	})
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(10 * time.Nanosecond)
+		s1.Fire()
+		p.Sleep(10 * time.Nanosecond)
+		s2.Fire()
+	})
+	e.Run()
+	if at != Time(20) {
+		t.Fatalf("WaitAll released at %v, want 20ns", at)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	if r.Capacity() != 3 || r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatal("resource accessors wrong")
+	}
+	q := NewQueue(e)
+	q.Put(1)
+	q.Put(2)
+	if q.MaxDepth() != 2 {
+		t.Fatalf("MaxDepth = %d", q.MaxDepth())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewResource(e, 0)
+}

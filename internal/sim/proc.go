@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// Proc is a handle on a simulation process. Process bodies receive their
+// Proc and use it for all time-consuming operations. A Proc must only be
+// used from its own goroutine.
+type Proc struct {
+	eng    *Engine
+	resume chan struct{}
+	name   string
+	dead   bool
+	daemon bool
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn starts fn as a new process at the current simulated time. The
+// process begins executing when the engine dispatches its start event, so a
+// Spawn from inside another process does not preempt the caller.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// SpawnDaemon starts a server process that is expected to block forever
+// (device engine loops draining command queues). Daemons do not count
+// toward deadlock detection when the event queue drains.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{eng: e, resume: make(chan struct{}), name: name, daemon: daemon}
+	if !daemon {
+		e.procs++
+	}
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			if !p.daemon {
+				e.procs--
+			}
+			e.token <- struct{}{}
+		}()
+		e.handoff(p)
+	})
+	return p
+}
+
+// handoff transfers control to p and blocks until p yields or finishes.
+// It must only be called from the engine loop (inside an event's fire).
+func (e *Engine) handoff(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.token
+}
+
+// yield transfers control back to the engine and blocks until some event
+// resumes this process.
+func (p *Proc) yield() {
+	e := p.eng
+	e.blocked++
+	e.token <- struct{}{}
+	<-p.resume
+	e.blocked--
+}
+
+// wake schedules an immediate event that resumes p. All resumptions flow
+// through the event queue so that ordering stays deterministic.
+func (p *Proc) wake() {
+	if p.dead {
+		panic(fmt.Sprintf("sim: wake of finished process %q", p.name))
+	}
+	p.eng.Schedule(0, func() { p.eng.handoff(p) })
+}
+
+// wakeAt resumes p after d elapses.
+func (p *Proc) wakeAt(d Duration) {
+	p.eng.Schedule(d, func() { p.eng.handoff(p) })
+}
+
+// Sleep suspends the process for d of simulated time. Sleeping for a
+// non-positive duration still yields through the event queue, so Sleep(0)
+// lets already-scheduled same-time events run first.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.wakeAt(d)
+	p.yield()
+}
+
+// Signal is a one-shot broadcast completion event: processes Wait on it and
+// all of them resume once Fire is called. Waiting on an already-fired signal
+// returns immediately. The zero value is not usable; use NewSignal.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	at      Time
+	waiters []*Proc
+}
+
+// NewSignal returns a fresh, unfired signal.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// At returns the time the signal fired; valid only after Fired.
+func (s *Signal) At() Time { return s.at }
+
+// Fire marks the signal complete and resumes all waiters. Firing twice
+// panics: completion events in the model are strictly one-shot.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: Signal fired twice")
+	}
+	s.fired = true
+	s.at = s.eng.now
+	for _, w := range s.waiters {
+		w.wake()
+	}
+	s.waiters = nil
+}
+
+// Wait blocks p until the signal fires. Returns immediately if it already has.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// WaitAll blocks p until every signal in sigs has fired.
+func WaitAll(p *Proc, sigs ...*Signal) {
+	for _, s := range sigs {
+		s.Wait(p)
+	}
+}

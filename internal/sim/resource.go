@@ -1,0 +1,150 @@
+package sim
+
+// Resource is a counted resource with FIFO admission: up to Capacity units
+// may be held at once; further Acquire calls block in arrival order. It
+// models serial or k-way hardware (a PCIe DMA engine, a pool of copy
+// engines, a single-threaded encryption worker).
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// Accounting for utilization reports.
+	busyTime   Duration
+	lastChange Time
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes blocked in Acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.eng.now
+	if r.inUse > 0 {
+		r.busyTime += now.Sub(r.lastChange)
+	}
+	r.lastChange = now
+}
+
+// BusyTime returns the cumulative time during which at least one unit was held.
+func (r *Resource) BusyTime() Duration {
+	d := r.busyTime
+	if r.inUse > 0 {
+		d += r.eng.now.Sub(r.lastChange)
+	}
+	return d
+}
+
+// Acquire takes one unit, blocking p FIFO-fashion until one is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.yield()
+	// Our releaser handed the unit to us directly; inUse already counts it.
+}
+
+// Release frees one unit. If processes are waiting, ownership passes to the
+// first waiter without the count dipping, preserving FIFO fairness.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next.wake()
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d, then releases it. This is the
+// common pattern for modelling an operation that occupies hardware for a
+// known duration.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Queue is an unbounded FIFO of items with blocking Get, used as the command
+// stream between producers (drivers, command processors) and consumers
+// (engines). Put never blocks.
+type Queue struct {
+	eng     *Engine
+	items   []interface{}
+	getters []*Proc
+
+	maxDepth int
+	puts     uint64
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue(e *Engine) *Queue { return &Queue{eng: e} }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// MaxDepth returns the high-water mark of the queue length.
+func (q *Queue) MaxDepth() int { return q.maxDepth }
+
+// Puts returns the total number of items ever enqueued.
+func (q *Queue) Puts() uint64 { return q.puts }
+
+// Put appends an item and wakes one blocked getter, if any.
+func (q *Queue) Put(item interface{}) {
+	q.items = append(q.items, item)
+	q.puts++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty. Concurrent getters are served FIFO.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.yield()
+	}
+	item := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return item
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryGet() (item interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return item, true
+}

@@ -1,0 +1,178 @@
+package swcrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 8439 section 2.3.2: ChaCha20 block function test vector.
+func TestChaChaBlockRFCVector(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce := [12]byte{0, 0, 0, 0x09, 0, 0, 0, 0x4a, 0, 0, 0, 0}
+	var out [64]byte
+	chachaBlock(&key, 1, &nonce, &out)
+	want, _ := hex.DecodeString(
+		"10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e" +
+			"d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(out[:], want) {
+		t.Fatalf("chacha block:\n got %x\nwant %x", out, want)
+	}
+}
+
+// RFC 8439 section 2.4.2: ChaCha20 encryption test vector ("sunscreen").
+func TestChaCha20EncryptRFCVector(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce := [12]byte{0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0}
+	pt := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	ct := make([]byte, len(pt))
+	if err := ChaCha20XOR(ct, pt, &key, &nonce, 1); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := hex.DecodeString(
+		"6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b" +
+			"f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8" +
+			"07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736" +
+			"5af90bbf74a35be6b40b8eedf2785e42874d")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("chacha20 ct:\n got %x\nwant %x", ct, want)
+	}
+}
+
+// RFC 8439 section 2.5.2: Poly1305 test vector.
+func TestPoly1305RFCVector(t *testing.T) {
+	var key [32]byte
+	kb, _ := hex.DecodeString("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+	copy(key[:], kb)
+	msg := []byte("Cryptographic Forum Research Group")
+	tag := poly1305(msg, &key)
+	want, _ := hex.DecodeString("a8061dc1305136c6c22b8baf0c0127a9")
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("poly1305 tag:\n got %x\nwant %x", tag, want)
+	}
+}
+
+// RFC 8439 section 2.8.2: full AEAD test vector.
+func TestChaCha20Poly1305AEADRFCVector(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(0x80 + i)
+	}
+	nonce := [12]byte{0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47}
+	aad, _ := hex.DecodeString("50515253c0c1c2c3c4c5c6c7")
+	pt := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+
+	sealed, err := ChaCha20Poly1305Seal(&key, &nonce, pt, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCT, _ := hex.DecodeString(
+		"d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6" +
+			"3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36" +
+			"92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc" +
+			"3ff4def08e4b7a9de576d26586cec64b6116")
+	wantTag, _ := hex.DecodeString("1ae10b594f09e26a7e902ecbd0600691")
+	if !bytes.Equal(sealed[:len(pt)], wantCT) {
+		t.Fatalf("AEAD ciphertext mismatch:\n got %x\nwant %x", sealed[:len(pt)], wantCT)
+	}
+	if !bytes.Equal(sealed[len(pt):], wantTag) {
+		t.Fatalf("AEAD tag mismatch:\n got %x\nwant %x", sealed[len(pt):], wantTag)
+	}
+
+	back, err := ChaCha20Poly1305Open(&key, &nonce, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatal("AEAD round trip mismatch")
+	}
+}
+
+func TestChaCha20Poly1305RejectsTampering(t *testing.T) {
+	var key [32]byte
+	key[0] = 1
+	var nonce [12]byte
+	sealed, err := ChaCha20Poly1305Seal(&key, &nonce, []byte("secret payload"), []byte("hdr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[3] ^= 0x40
+	if _, err := ChaCha20Poly1305Open(&key, &nonce, sealed, []byte("hdr")); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	sealed[3] ^= 0x40
+	if _, err := ChaCha20Poly1305Open(&key, &nonce, sealed, []byte("HDR")); err == nil {
+		t.Fatal("tampered AAD accepted")
+	}
+	if _, err := ChaCha20Poly1305Open(&key, &nonce, sealed[:8], nil); err == nil {
+		t.Fatal("short input accepted")
+	}
+}
+
+// Property: seal/open round-trips for arbitrary payloads, AADs and keys.
+func TestPropertyChaChaAEADRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, aadLen uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var key [32]byte
+		var nonce [12]byte
+		rng.Read(key[:])
+		rng.Read(nonce[:])
+		pt := make([]byte, int(n%2048))
+		aad := make([]byte, int(aadLen))
+		rng.Read(pt)
+		rng.Read(aad)
+		sealed, err := ChaCha20Poly1305Seal(&key, &nonce, pt, aad)
+		if err != nil {
+			return false
+		}
+		back, err := ChaCha20Poly1305Open(&key, &nonce, sealed, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the stream cipher is its own inverse.
+func TestPropertyChaCha20SelfInverse(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var key [32]byte
+		var nonce [12]byte
+		rng.Read(key[:])
+		rng.Read(nonce[:])
+		pt := make([]byte, int(n%1024)+1)
+		rng.Read(pt)
+		ct := make([]byte, len(pt))
+		_ = ChaCha20XOR(ct, pt, &key, &nonce, 7)
+		back := make([]byte, len(pt))
+		_ = ChaCha20XOR(back, ct, &key, &nonce, 7)
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChaCha20Poly1305Seal4K(b *testing.B) {
+	var key [32]byte
+	var nonce [12]byte
+	pt := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		_, _ = ChaCha20Poly1305Seal(&key, &nonce, pt, nil)
+	}
+}

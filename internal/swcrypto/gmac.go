@@ -1,0 +1,38 @@
+package swcrypto
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+)
+
+// GMAC computes the GMAC authentication tag over aad with the given AES key
+// and 12-byte IV, per NIST SP 800-38D: GMAC is GCM with an empty plaintext,
+// so the tag is E_K(J0) XOR GHASH(H, aad, "").
+func GMAC(key, iv, aad []byte) ([16]byte, error) {
+	var tag [16]byte
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return tag, fmt.Errorf("swcrypto: GMAC key: %w", err)
+	}
+	if len(iv) != 12 {
+		return tag, fmt.Errorf("swcrypto: GMAC requires a 96-bit IV, got %d bytes", len(iv)*8)
+	}
+
+	var h [16]byte
+	block.Encrypt(h[:], h[:]) // H = E_K(0^128)
+
+	// J0 = IV || 0^31 || 1 for 96-bit IVs.
+	var j0 [16]byte
+	copy(j0[:12], iv)
+	binary.BigEndian.PutUint32(j0[12:], 1)
+
+	var ekj0 [16]byte
+	block.Encrypt(ekj0[:], j0[:])
+
+	s := GHASH(h[:], aad, nil)
+	for i := range tag {
+		tag[i] = s[i] ^ ekj0[i]
+	}
+	return tag, nil
+}

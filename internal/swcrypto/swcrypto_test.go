@@ -1,0 +1,321 @@
+package swcrypto
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// --- GHASH ---
+
+// GHASH value from the original GCM spec (McGrew & Viega), test case 2:
+// H = E_K(0^128) = 66e94bd4ef8a2c3b884cfa59ca342b2e and the GHASH input is
+// the ciphertext C = 0388dace60b6a392f328c2b971b2fe78, giving
+// GHASH(H, {}, C) = f38cbb1ad69223dcc3457ae5b6b0f885.
+func TestGHASHSpecVector(t *testing.T) {
+	h := unhex(t, "66e94bd4ef8a2c3b884cfa59ca342b2e")
+	c := unhex(t, "0388dace60b6a392f328c2b971b2fe78")
+	got := GHASH(h, nil, c)
+	want := unhex(t, "f38cbb1ad69223dcc3457ae5b6b0f885")
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("GHASH = %x, want %x", got, want)
+	}
+}
+
+// Cross-check: our GMAC (built on our GHASH) must agree with the standard
+// library's GCM sealing an empty plaintext, for arbitrary keys and AAD.
+func TestGMACMatchesStdlibGCM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		key := make([]byte, 16)
+		iv := make([]byte, 12)
+		aad := make([]byte, rng.Intn(100))
+		rng.Read(key)
+		rng.Read(iv)
+		rng.Read(aad)
+
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aead, err := cipher.NewGCM(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := aead.Seal(nil, iv, nil, aad) // tag only
+
+		got, err := GMAC(key, iv, aad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("trial %d: GMAC = %x, stdlib tag = %x", trial, got, want)
+		}
+	}
+}
+
+func TestGMACRejectsBadIV(t *testing.T) {
+	if _, err := GMAC(make([]byte, 16), make([]byte, 8), nil); err == nil {
+		t.Fatal("expected error for non-96-bit IV")
+	}
+}
+
+// Property: GF(2^128) multiplication distributes over XOR:
+// (x ^ y) * h == x*h ^ y*h — the linearity that makes GHASH a polynomial MAC.
+func TestPropertyGFMulLinearity(t *testing.T) {
+	var h [16]byte
+	h[3] = 0x99
+	hk := feFromBlock(h[:])
+	f := func(x, y [16]byte) bool {
+		fx := feFromBlock(x[:])
+		fy := feFromBlock(y[:])
+		return gfMul(fx.xor(fy), hk) == gfMul(fx, hk).xor(gfMul(fy, hk))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gfMul sanity: multiplying by the identity element (x^0 = MSB-first 0x80..)
+// must be a no-op.
+func TestGFMulIdentity(t *testing.T) {
+	one := fieldElement{hi: 0x8000000000000000}
+	x := fieldElement{hi: 0x0123456789abcdef, lo: 0xfedcba9876543210}
+	if got := gfMul(x, one); got != x {
+		t.Fatalf("x*1 = %+v, want %+v", got, x)
+	}
+	if got := gfMul(one, x); got != x {
+		t.Fatalf("1*x = %+v, want %+v", got, x)
+	}
+}
+
+func TestGFMulCommutative(t *testing.T) {
+	f := func(a, b [16]byte) bool {
+		x := feFromBlock(a[:])
+		y := feFromBlock(b[:])
+		return gfMul(x, y) == gfMul(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- XTS ---
+
+// IEEE 1619-2007 XTS-AES-128 Vector 1.
+func TestXTSVector1(t *testing.T) {
+	key := make([]byte, 32) // both halves zero
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := make([]byte, 32)
+	ct := make([]byte, 32)
+	if err := x.Encrypt(ct, pt, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := unhex(t, "917cf69ebd68b2ec9b9fe9a3eadda692cd43d2f59598ed858c02c2652fbf922e")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("XTS vector 1: got %x, want %x", ct, want)
+	}
+	back := make([]byte, 32)
+	if err := x.Decrypt(back, ct, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("XTS vector 1 decrypt mismatch: %x", back)
+	}
+}
+
+// IEEE 1619-2007 XTS-AES-128 Vector 2.
+func TestXTSVector2(t *testing.T) {
+	key := append(bytes.Repeat([]byte{0x11}, 16), bytes.Repeat([]byte{0x22}, 16)...)
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := bytes.Repeat([]byte{0x44}, 32)
+	ct := make([]byte, 32)
+	if err := x.Encrypt(ct, pt, 0x3333333333); err != nil {
+		t.Fatal(err)
+	}
+	want := unhex(t, "c454185e6a16936e39334038acef838bfb186fff7480adc4289382ecd6d394f0")
+	if !bytes.Equal(ct, want) {
+		t.Fatalf("XTS vector 2: got %x, want %x", ct, want)
+	}
+}
+
+func TestXTSRejectsBadKeyAndSizes(t *testing.T) {
+	if _, err := NewXTS(make([]byte, 48)); err == nil {
+		t.Fatal("expected error for 48-byte key")
+	}
+	x, err := NewXTS(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Encrypt(make([]byte, 8), make([]byte, 8), 0); err == nil {
+		t.Fatal("expected error for sub-block data unit")
+	}
+	if err := x.Encrypt(make([]byte, 16), make([]byte, 32), 0); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+}
+
+// Property: XTS round-trips for any length >= 16, including ciphertext-
+// stealing lengths, and ciphertext differs from plaintext.
+func TestPropertyXTSRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i + 1)
+	}
+	x, err := NewXTS(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, extra uint8, sector uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + int(extra) // 16..271 bytes, hits many CTS cases
+		pt := make([]byte, n)
+		rng.Read(pt)
+		ct := make([]byte, n)
+		if err := x.Encrypt(ct, pt, uint64(sector)); err != nil {
+			return false
+		}
+		if bytes.Equal(ct, pt) {
+			return false
+		}
+		back := make([]byte, n)
+		if err := x.Decrypt(back, ct, uint64(sector)); err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: different sectors yield different ciphertexts (tweak matters).
+func TestXTSTweakDistinguishesSectors(t *testing.T) {
+	key := make([]byte, 32)
+	key[0] = 9
+	x, _ := NewXTS(key)
+	pt := make([]byte, 64)
+	c0 := make([]byte, 64)
+	c1 := make([]byte, 64)
+	_ = x.Encrypt(c0, pt, 0)
+	_ = x.Encrypt(c1, pt, 1)
+	if bytes.Equal(c0, c1) {
+		t.Fatal("same ciphertext across sectors")
+	}
+}
+
+// --- Throughput harness & model ---
+
+func TestMeasureRunsAllAlgorithms(t *testing.T) {
+	for _, alg := range AllAlgorithms {
+		gbps, err := Measure(alg, 4096, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if gbps <= 0 {
+			t.Fatalf("%s: non-positive throughput %f", alg, gbps)
+		}
+	}
+}
+
+func TestMeasureRejectsBadInput(t *testing.T) {
+	if _, err := Measure(AES128GCM, 4, time.Millisecond); err == nil {
+		t.Fatal("expected error for tiny buffer")
+	}
+	if _, err := Measure(Algorithm("nope"), 4096, time.Millisecond); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	// The paper states these two numbers explicitly.
+	if got := CalibratedGBps[IntelEMR][AES128GCM]; got != 3.36 {
+		t.Fatalf("EMR AES-128-GCM calibration = %v, want 3.36", got)
+	}
+	if got := CalibratedGBps[IntelEMR][GHASHAlg]; got != 8.90 {
+		t.Fatalf("EMR GHASH calibration = %v, want 8.90", got)
+	}
+	// GHASH (integrity only) must beat AES-GCM on every CPU (Obs. 2).
+	for cpu, table := range CalibratedGBps {
+		if table[GHASHAlg] <= table[AES128GCM] {
+			t.Fatalf("%s: GHASH (%v) not faster than AES-GCM (%v)", cpu, table[GHASHAlg], table[AES128GCM])
+		}
+	}
+}
+
+func TestSoftCryptoModel(t *testing.T) {
+	sc, err := NewSoftCrypto(IntelEMR, AES128GCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large buffers approach the streaming rate...
+	if eff := sc.EffectiveGBps(1 << 30); eff < 3.3 || eff > 3.36 {
+		t.Fatalf("1GiB effective rate %v, want just under 3.36", eff)
+	}
+	// ...small buffers are latency-bound far below it.
+	if eff := sc.EffectiveGBps(64); eff > 0.5 {
+		t.Fatalf("64B effective rate %v, want latency-dominated", eff)
+	}
+	// Time is monotonic in size.
+	if sc.Time(1<<20) >= sc.Time(1<<21) {
+		t.Fatal("Time not monotonic in size")
+	}
+	if _, err := NewSoftCrypto(CPUModel("bogus"), AES128GCM); err == nil {
+		t.Fatal("expected error for unknown CPU")
+	}
+	if _, err := NewSoftCrypto(IntelEMR, Algorithm("bogus")); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func BenchmarkGHASH4K(b *testing.B) {
+	h := make([]byte, 16)
+	h[0] = 1
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		GHASH(h, nil, data)
+	}
+}
+
+func BenchmarkXTSEncrypt4K(b *testing.B) {
+	x, _ := NewXTS(make([]byte, 32))
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		_ = x.Encrypt(dst, src, uint64(i))
+	}
+}
+
+func BenchmarkStdlibAESGCM4K(b *testing.B) {
+	block, _ := aes.NewCipher(make([]byte, 16))
+	aead, _ := cipher.NewGCM(block)
+	nonce := make([]byte, 12)
+	src := make([]byte, 4096)
+	dst := make([]byte, 0, 4096+16)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		aead.Seal(dst[:0], nonce, src, nil)
+	}
+}

@@ -1,0 +1,357 @@
+// Package tdx models the CPU-side trusted-execution substrate: an Intel TDX
+// trust domain (TD) versus a legacy VM, as seen by a GPU driver running in
+// the guest.
+//
+// The model captures the mechanisms the paper identifies as the sources of
+// CPU-side CC overhead:
+//
+//   - MMIO to the passed-through GPU is direct in a legacy VM but traps in a
+//     TD (#VE), where the guest's #VE handler issues a tdx_hypercall that
+//     transits the TDX module (SEAM) to the host — per hypercall studies,
+//     over 470% more expensive than a plain VM exit.
+//   - The GPU cannot DMA into TD private memory, so every transfer stages
+//     through a hypervisor-managed shared bounce buffer (SWIOTLB), allocated
+//     with dma_alloc_* and converted with set_memory_decrypted().
+//   - Data entering or leaving the TD over the bounce buffer is encrypted or
+//     decrypted with software AES-GCM (single-threaded, AES-NI).
+//   - Private-page management (SEPT AUG/ACCEPT on allocate, scrub + SEPT
+//     removal on free) makes memory management ioctls several times slower.
+//
+// All operations are expressed as time charged to the calling simulation
+// process, plus statistics used by the figure generators.
+package tdx
+
+import (
+	"time"
+
+	"hccsim/internal/sim"
+	"hccsim/internal/swcrypto"
+)
+
+// PageSize is the guest page granule for shared/private conversions.
+const PageSize = 4096
+
+// Params holds the calibrated latency constants of the CPU TEE substrate.
+type Params struct {
+	// VMExit is the round-trip cost of a plain (legacy VM) exit to the host.
+	VMExit time.Duration
+	// Hypercall is the round-trip cost of a tdx_hypercall: TD -> TDX module
+	// (SEAM transition) -> host -> back. Calibrated to ~5.7x a plain exit.
+	Hypercall time.Duration
+	// MMIODirect is a passthrough MMIO doorbell write/read in a legacy VM
+	// (the BAR is mapped straight into the guest).
+	MMIODirect time.Duration
+	// SEPTPerPage is the secure-EPT AUG+ACCEPT cost per private page.
+	SEPTPerPage time.Duration
+	// ConvertPerPage is set_memory_decrypted()/encrypted() per page:
+	// page-attribute change, TLB shootdown, and the MapGPA hypercall share.
+	ConvertPerPage time.Duration
+	// ScrubPerPage is the cost of scrubbing a private page on free (TDX
+	// requires pages to be cleared before reclamation).
+	ScrubPerPage time.Duration
+	// DMAMapBase is the fixed cost of dma_direct_alloc / dma map setup for
+	// one transfer through the SWIOTLB path.
+	DMAMapBase time.Duration
+	// HostMemcpyGBps is single-core DRAM streaming bandwidth, used for the
+	// extra staging copy on pageable transfers and bounce-buffer copies.
+	HostMemcpyGBps float64
+	// BounceBufBytes is the capacity of the SWIOTLB bounce pool.
+	BounceBufBytes int64
+	// CryptoCPU and CryptoAlg select the software cipher on the copy path.
+	CryptoCPU swcrypto.CPUModel
+	CryptoAlg swcrypto.Algorithm
+	// CryptoWorkers is the number of parallel encryption threads on the
+	// copy path. Stock NVIDIA CC uses 1 (OpenSSL in the runtime's copy
+	// path is single-threaded — Observation 2); PipeLLM-style runtime
+	// modifications parallelize it.
+	CryptoWorkers int
+	// TEEIO enables the TDX Connect / PCIe TEE-IO projection the paper
+	// points to as the hardware fix: the device joins the TCB, DMA is
+	// line-rate hardware IDE (no bounce buffer, no software crypto) and
+	// trusted MMIO no longer exits. IDEPerTLP adds the residual link-layer
+	// encryption latency per transaction.
+	TEEIO     bool
+	IDEPerTLP time.Duration
+}
+
+// DefaultParams returns constants calibrated to the paper's testbed
+// (Table I: dual Xeon 6530 Gold @ 2.1 GHz, TDX 1.5, Linux 6.2 tdx-patched).
+func DefaultParams() Params {
+	return Params{
+		VMExit:         2400 * time.Nanosecond,
+		Hypercall:      13700 * time.Nanosecond, // ~+470% over a plain exit
+		MMIODirect:     380 * time.Nanosecond,
+		SEPTPerPage:    1900 * time.Nanosecond,
+		ConvertPerPage: 2600 * time.Nanosecond,
+		ScrubPerPage:   950 * time.Nanosecond,
+		DMAMapBase:     1200 * time.Nanosecond,
+		HostMemcpyGBps: 11.5,
+		BounceBufBytes: 256 << 20,
+		CryptoCPU:      swcrypto.IntelEMR,
+		CryptoAlg:      swcrypto.AES128GCM,
+		CryptoWorkers:  1,
+		IDEPerTLP:      250 * time.Nanosecond,
+	}
+}
+
+// SNPParams returns constants calibrated to an AMD SEV-SNP guest (EPYC
+// Genoa class): guest exits go through the GHCB protocol (VMGEXIT), which
+// hypercall studies measure cheaper than TDX's SEAM transitions, while RMP
+// checks make page-state changes (PVALIDATE + RMPUPDATE) a little dearer
+// than TDX SEPT acceptance.
+func SNPParams() Params {
+	p := DefaultParams()
+	p.Hypercall = 9200 * time.Nanosecond   // VMGEXIT round trip
+	p.SEPTPerPage = 2300 * time.Nanosecond // PVALIDATE + RMPUPDATE
+	p.ConvertPerPage = 2900 * time.Nanosecond
+	p.ScrubPerPage = 1100 * time.Nanosecond
+	return p
+}
+
+// TEEIOParams returns the TDX Connect (TEE-IO) projection: same CPU TEE,
+// but the GPU is a trusted device — direct DMA with hardware IDE and
+// untrapped trusted MMIO.
+func TEEIOParams() Params {
+	p := DefaultParams()
+	p.TEEIO = true
+	return p
+}
+
+// Stats aggregates substrate activity for reporting.
+type Stats struct {
+	Hypercalls     uint64
+	VMExits        uint64
+	MMIOs          uint64
+	BytesEncrypted int64
+	BytesDecrypted int64
+	BytesStaged    int64
+	PagesConverted int64
+	PagesAccepted  int64
+	PagesScrubbed  int64
+	DMAMaps        uint64
+	EncryptTime    time.Duration
+	DecryptTime    time.Duration
+}
+
+// Platform is one guest (TD or legacy VM) plus the host machinery under it.
+type Platform struct {
+	eng    *sim.Engine
+	cc     bool
+	params Params
+	crypto *swcrypto.SoftCrypto
+	// cryptoWorker serializes software (de)cryption: OpenSSL on the CUDA
+	// copy path is single-threaded, which is exactly why CC bandwidth caps
+	// at the single-core AES-GCM rate (Observation 2).
+	cryptoWorker *sim.Resource
+	bounceUsed   int64
+	bounceWait   []*bounceWaiter
+	stats        Stats
+}
+
+type bounceWaiter struct {
+	need int64
+	sig  *sim.Signal
+}
+
+// NewPlatform creates a guest platform. cc selects TD (true) or legacy VM.
+func NewPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
+	workers := params.CryptoWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	pl := &Platform{eng: eng, cc: cc, params: params, cryptoWorker: sim.NewResource(eng, workers)}
+	if cc {
+		sc, err := swcrypto.NewSoftCrypto(params.CryptoCPU, params.CryptoAlg)
+		if err != nil {
+			panic("tdx: " + err.Error())
+		}
+		pl.crypto = sc
+	}
+	return pl
+}
+
+// CC reports whether the guest is a trust domain (confidential computing on).
+func (pl *Platform) CC() bool { return pl.cc }
+
+// SoftwareCryptoPath reports whether transfers go through the bounce-buffer
+// + software-encryption path: true for stock CC, false for legacy VMs and
+// for the TEE-IO projection (hardware IDE).
+func (pl *Platform) SoftwareCryptoPath() bool { return pl.cc && !pl.params.TEEIO }
+
+// Params returns the platform's latency constants.
+func (pl *Platform) Params() Params { return pl.params }
+
+// Stats returns a snapshot of substrate counters.
+func (pl *Platform) Stats() Stats { return pl.stats }
+
+// Engine returns the simulation engine.
+func (pl *Platform) Engine() *sim.Engine { return pl.eng }
+
+func pages(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + PageSize - 1) / PageSize
+}
+
+// Hypercall charges one tdx_hypercall round trip (TD only).
+func (pl *Platform) Hypercall(p *sim.Proc) {
+	pl.stats.Hypercalls++
+	p.Sleep(pl.params.Hypercall)
+}
+
+// MMIO charges one access to the passed-through GPU's BAR. In a legacy VM
+// this is a direct mapped access; in a TD it raises #VE and is forwarded to
+// the host via tdx_hypercall.
+func (pl *Platform) MMIO(p *sim.Proc) {
+	pl.stats.MMIOs++
+	if pl.cc && !pl.params.TEEIO {
+		pl.stats.Hypercalls++
+		p.Sleep(pl.params.Hypercall)
+		return
+	}
+	pl.stats.VMExits++ // accounted as a (cheap) direct access, no real exit
+	p.Sleep(pl.params.MMIODirect)
+}
+
+// MMIOCost returns the per-access MMIO latency without charging it, for
+// call-stack reporting (Fig. 8).
+func (pl *Platform) MMIOCost() time.Duration {
+	if pl.cc && !pl.params.TEEIO {
+		return pl.params.Hypercall
+	}
+	return pl.params.MMIODirect
+}
+
+// AcceptPrivate charges SEPT page-acceptance for newly touched private
+// memory (TD only; no-op in a legacy VM).
+func (pl *Platform) AcceptPrivate(p *sim.Proc, bytes int64) {
+	if !pl.cc {
+		return
+	}
+	n := pages(bytes)
+	pl.stats.PagesAccepted += n
+	p.Sleep(time.Duration(n) * pl.params.SEPTPerPage)
+}
+
+// ConvertShared charges set_memory_decrypted over the range (TD only):
+// converting private pages to hypervisor-shared so a device can DMA them.
+func (pl *Platform) ConvertShared(p *sim.Proc, bytes int64) {
+	if !pl.cc {
+		return
+	}
+	n := pages(bytes)
+	pl.stats.PagesConverted += n
+	p.Sleep(time.Duration(n) * pl.params.ConvertPerPage)
+}
+
+// ScrubPrivate charges the page scrub TDX requires before reclaiming
+// private pages on free (TD only).
+func (pl *Platform) ScrubPrivate(p *sim.Proc, bytes int64) {
+	if !pl.cc {
+		return
+	}
+	n := pages(bytes)
+	pl.stats.PagesScrubbed += n
+	p.Sleep(time.Duration(n) * pl.params.ScrubPerPage)
+}
+
+// HostMemcpy charges a CPU staging copy of n bytes (pageable-transfer
+// staging, bounce-buffer fill/drain).
+func (pl *Platform) HostMemcpy(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	pl.stats.BytesStaged += n
+	secs := float64(n) / (pl.params.HostMemcpyGBps * 1e9)
+	p.Sleep(time.Duration(secs * float64(time.Second)))
+}
+
+// BounceAcquire reserves n bytes of SWIOTLB bounce space, blocking while the
+// pool is exhausted, and charges the dma_direct_alloc mapping cost. It is a
+// no-op (returning instantly) in a legacy VM, where the device DMAs guest
+// memory directly.
+func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
+	if !pl.cc || pl.params.TEEIO || n <= 0 {
+		return
+	}
+	if n > pl.params.BounceBufBytes {
+		panic("tdx: bounce request exceeds pool size")
+	}
+	pl.stats.DMAMaps++
+	p.Sleep(pl.params.DMAMapBase)
+	for pl.bounceUsed+n > pl.params.BounceBufBytes {
+		w := &bounceWaiter{need: n, sig: sim.NewSignal(pl.eng)}
+		pl.bounceWait = append(pl.bounceWait, w)
+		w.sig.Wait(p)
+	}
+	pl.bounceUsed += n
+}
+
+// BounceRelease returns n bytes to the bounce pool and wakes waiters whose
+// requests now fit.
+func (pl *Platform) BounceRelease(n int64) {
+	if !pl.cc || pl.params.TEEIO || n <= 0 {
+		return
+	}
+	pl.bounceUsed -= n
+	if pl.bounceUsed < 0 {
+		panic("tdx: bounce pool underflow")
+	}
+	var still []*bounceWaiter
+	for _, w := range pl.bounceWait {
+		if pl.bounceUsed+w.need <= pl.params.BounceBufBytes {
+			w.sig.Fire()
+		} else {
+			still = append(still, w)
+		}
+	}
+	pl.bounceWait = still
+}
+
+// BounceInUse returns the bytes currently reserved in the bounce pool.
+func (pl *Platform) BounceInUse() int64 { return pl.bounceUsed }
+
+// Encrypt charges software AES-GCM encryption of n bytes on the (single)
+// crypto worker. No-op in a legacy VM.
+func (pl *Platform) Encrypt(p *sim.Proc, n int64) {
+	if !pl.cc || n <= 0 {
+		return
+	}
+	if pl.params.TEEIO {
+		// Hardware IDE: link-layer encryption at line rate.
+		p.Sleep(pl.params.IDEPerTLP)
+		return
+	}
+	d := pl.crypto.Time(n)
+	pl.cryptoWorker.Use(p, d)
+	pl.stats.BytesEncrypted += n
+	pl.stats.EncryptTime += d
+}
+
+// Decrypt charges software AES-GCM decryption of n bytes. No-op without CC.
+func (pl *Platform) Decrypt(p *sim.Proc, n int64) {
+	if !pl.cc || n <= 0 {
+		return
+	}
+	if pl.params.TEEIO {
+		p.Sleep(pl.params.IDEPerTLP)
+		return
+	}
+	d := pl.crypto.Time(n)
+	pl.cryptoWorker.Use(p, d)
+	pl.stats.BytesDecrypted += n
+	pl.stats.DecryptTime += d
+}
+
+// CryptoTime returns the modelled (de)cryption time for n bytes without
+// charging it — used by GPU-side pipeline stages and analytic models.
+func (pl *Platform) CryptoTime(n int64) time.Duration {
+	if !pl.cc || n <= 0 {
+		return 0
+	}
+	if pl.params.TEEIO {
+		return pl.params.IDEPerTLP
+	}
+	return pl.crypto.Time(n)
+}

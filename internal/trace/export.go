@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hccsim/internal/sim"
+)
+
+// jsonEvent is the export schema: stable field names, nanosecond integers,
+// compatible with external plotting of Fig-10-style scatter panels.
+type jsonEvent struct {
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Stream  int    `json:"stream"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Managed bool   `json:"managed,omitempty"`
+	Seq     int    `json:"seq"`
+}
+
+// jsonReport is the top-level export document.
+type jsonReport struct {
+	SpanNS  int64       `json:"span_ns"`
+	Events  []jsonEvent `json:"events"`
+	Summary jsonSummary `json:"summary"`
+}
+
+type jsonSummary struct {
+	Launches int   `json:"launches"`
+	Kernels  int   `json:"kernels"`
+	KLONs    int64 `json:"klo_ns"`
+	LQTNs    int64 `json:"lqt_ns"`
+	KQTNs    int64 `json:"kqt_ns"`
+	KETNs    int64 `json:"ket_ns"`
+	CopyH2D  int64 `json:"copy_h2d_ns"`
+	CopyD2H  int64 `json:"copy_d2h_ns"`
+	CopyD2D  int64 `json:"copy_d2d_ns"`
+	AllocNs  int64 `json:"alloc_ns"`
+	FreeNs   int64 `json:"free_ns"`
+}
+
+// WriteJSON exports the trace and its analysis as a single JSON document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	m := t.Analyze()
+	rep := jsonReport{
+		SpanNS: int64(t.Span()),
+		Events: make([]jsonEvent, 0, len(t.events)),
+		Summary: jsonSummary{
+			Launches: m.Launches, Kernels: m.Kernels,
+			KLONs: int64(m.KLO), LQTNs: int64(m.LQT),
+			KQTNs: int64(m.KQT), KETNs: int64(m.KET),
+			CopyH2D: int64(m.CopyH2D), CopyD2H: int64(m.CopyD2H), CopyD2D: int64(m.CopyD2D),
+			AllocNs: int64(m.AllocTime), FreeNs: int64(m.FreeTime),
+		},
+	}
+	for _, e := range t.events {
+		rep.Events = append(rep.Events, jsonEvent{
+			Kind: e.Kind.String(), Name: e.Name, Stream: e.Stream,
+			StartNS: int64(e.Start), EndNS: int64(e.End),
+			Bytes: e.Bytes, Managed: e.Managed, Seq: e.Seq,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON parses a document written by WriteJSON back into a Tracer —
+// round-tripping traces lets external tools hand analysis back.
+func ReadJSON(r io.Reader) (*Tracer, error) {
+	var rep jsonReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON report: %w", err)
+	}
+	kindByName := make(map[string]Kind, len(kindNames))
+	for i, n := range kindNames {
+		kindByName[n] = Kind(i)
+	}
+	t := New()
+	for _, je := range rep.Events {
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown event kind %q", je.Kind)
+		}
+		t.Record(Event{
+			Kind: kind, Name: je.Name, Stream: je.Stream,
+			Start: sim.Time(je.StartNS), End: sim.Time(je.EndNS),
+			Bytes: je.Bytes, Managed: je.Managed, Seq: je.Seq,
+		})
+		if je.Seq > t.seq {
+			t.seq = je.Seq
+		}
+	}
+	return t, nil
+}

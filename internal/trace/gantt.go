@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hccsim/internal/sim"
+)
+
+// Gantt renders the trace as a Fig-1-style ASCII timeline: one lane per
+// activity category, the run scaled to `width` columns. It is the textual
+// equivalent of the paper's end-to-end overview (alloc / copy / launch /
+// kernel / free lanes under CC-off vs CC-on).
+func (t *Tracer) Gantt(w io.Writer, width int) error {
+	if width < 20 {
+		width = 20
+	}
+	if len(t.events) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	var min, max sim.Time
+	min, max = t.events[0].Start, t.events[0].End
+	for _, e := range t.events {
+		if e.Start < min {
+			min = e.Start
+		}
+		if e.End > max {
+			max = e.End
+		}
+	}
+	span := max.Sub(min)
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+
+	type lane struct {
+		name  string
+		glyph byte
+		match func(Event) bool
+	}
+	lanes := []lane{
+		{"alloc ", 'A', func(e Event) bool { return e.Kind == KindAlloc }},
+		{"copy  ", '=', func(e Event) bool {
+			return e.Kind == KindMemcpyH2D || e.Kind == KindMemcpyD2H || e.Kind == KindMemcpyD2D
+		}},
+		{"launch", 'L', func(e Event) bool { return e.Kind == KindLaunch }},
+		{"kernel", '#', func(e Event) bool { return e.Kind == KindKernel }},
+		{"fault ", '!', func(e Event) bool { return e.Kind == KindFaultBatch }},
+		{"sync  ", 's', func(e Event) bool { return e.Kind == KindSync }},
+		{"free  ", 'F', func(e Event) bool { return e.Kind == KindFree }},
+	}
+
+	col := func(ts sim.Time) int {
+		c := int(float64(ts.Sub(min)) / float64(span) * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	for _, ln := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		used := false
+		for _, e := range t.events {
+			if !ln.match(e) {
+				continue
+			}
+			used = true
+			from, to := col(e.Start), col(e.End)
+			for i := from; i <= to; i++ {
+				row[i] = ln.glyph
+			}
+		}
+		if !used {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", ln.name, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s 0%s%v\n", strings.Repeat(" ", 7),
+		strings.Repeat(" ", width-len(span.String())), span)
+	return err
+}
+
+// Utilization summarizes how busy each activity category kept the timeline:
+// the fraction of the run covered by at least one event of the category.
+type Utilization struct {
+	Copy, Launch, Kernel, Fault, Mgmt float64
+}
+
+// Utilize computes category utilizations over the trace span.
+func (t *Tracer) Utilize() Utilization {
+	if len(t.events) == 0 {
+		return Utilization{}
+	}
+	span := t.Span()
+	if span <= 0 {
+		return Utilization{}
+	}
+	cover := func(match func(Event) bool) float64 {
+		type iv struct{ s, e sim.Time }
+		var ivs []iv
+		for _, e := range t.events {
+			if match(e) {
+				ivs = append(ivs, iv{e.Start, e.End})
+			}
+		}
+		if len(ivs) == 0 {
+			return 0
+		}
+		// Merge and measure.
+		for i := 1; i < len(ivs); i++ { // insertion sort: traces are near-ordered
+			j := i
+			for j > 0 && ivs[j].s < ivs[j-1].s {
+				ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+				j--
+			}
+		}
+		var total time.Duration
+		cur := ivs[0]
+		for _, x := range ivs[1:] {
+			if x.s <= cur.e {
+				if x.e > cur.e {
+					cur.e = x.e
+				}
+				continue
+			}
+			total += cur.e.Sub(cur.s)
+			cur = x
+		}
+		total += cur.e.Sub(cur.s)
+		return float64(total) / float64(span)
+	}
+	return Utilization{
+		Copy: cover(func(e Event) bool {
+			return e.Kind == KindMemcpyH2D || e.Kind == KindMemcpyD2H || e.Kind == KindMemcpyD2D
+		}),
+		Launch: cover(func(e Event) bool { return e.Kind == KindLaunch }),
+		Kernel: cover(func(e Event) bool { return e.Kind == KindKernel }),
+		Fault:  cover(func(e Event) bool { return e.Kind == KindFaultBatch }),
+		Mgmt: cover(func(e Event) bool {
+			return e.Kind == KindAlloc || e.Kind == KindFree || e.Kind == KindSync
+		}),
+	}
+}

@@ -1,0 +1,416 @@
+// Package uvm models NVIDIA Unified Virtual Memory: managed allocations
+// whose pages migrate on demand between host and device.
+//
+// A GPU access to a non-resident page raises a far fault in the GMMU; the
+// fault is forwarded to the CPU-side UVM driver (20-50 us service latency
+// per the literature), which migrates the pages over PCIe. The driver
+// coalesces neighbouring faults and prefetches, so in non-CC mode pages move
+// in large batches. Under confidential computing the same path becomes
+// "encrypted paging": each migration must be staged through the bounce
+// buffer and encrypted in software, the fault round-trip pays extra
+// hypercalls, and the large-batch prefetch degrades to small batches —
+// which is why UVM kernels slow down by orders of magnitude under CC while
+// non-UVM kernels are untouched (Observation 5).
+package uvm
+
+import (
+	"fmt"
+	"time"
+
+	"hccsim/internal/pcie"
+	"hccsim/internal/sim"
+	"hccsim/internal/tdx"
+	"hccsim/internal/trace"
+)
+
+// Params holds the calibrated constants of the paging path.
+type Params struct {
+	// PageSize is the UVM migration granule (NVIDIA uses 64 KiB basic pages).
+	PageSize int64
+	// FaultService is the GPU-fault -> CPU-driver round trip per batch.
+	FaultService time.Duration
+	// BatchPages is the pages moved per fault batch in non-CC mode, where
+	// the driver's density prefetcher coalesces up to 2 MiB.
+	BatchPages int
+	// BatchPagesCC is the batch size under encrypted paging; staging through
+	// the bounce buffer defeats the prefetcher's large transfers.
+	BatchPagesCC int
+	// CCFaultHypercalls counts the extra TD exits per batch under CC (fault
+	// forwarding and bounce-buffer setup are host-mediated).
+	CCFaultHypercalls int
+	// RandomPenalty divides the batch size for random-access patterns,
+	// which defeat fault coalescing even without CC.
+	RandomPenalty int
+}
+
+// DefaultParams returns constants calibrated to the paper's testbed.
+func DefaultParams() Params {
+	return Params{
+		PageSize:          64 << 10,
+		FaultService:      20 * time.Microsecond,
+		BatchPages:        48, // 3 MiB with the density prefetcher
+		BatchPagesCC:      1,  // encrypted paging defeats coalescing entirely
+		CCFaultHypercalls: 4,
+		RandomPenalty:     4,
+	}
+}
+
+// Stats aggregates paging activity.
+type Stats struct {
+	FaultBatches  uint64
+	PagesMigrated int64
+	BytesToGPU    int64
+	BytesToHost   int64
+	Evictions     int64
+}
+
+// Manager owns every managed range of one GPU context.
+type Manager struct {
+	eng    *sim.Engine
+	pl     *tdx.Platform
+	link   *pcie.Link
+	params Params
+	tracer *trace.Tracer // optional; fault batches are recorded when set
+
+	ranges        []*Range
+	residentBytes int64
+	residentLimit int64 // 0 = unlimited
+	clock         int64 // LRU clock for eviction
+	stats         Stats
+}
+
+// NewManager creates a UVM manager on the given substrates.
+func NewManager(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, params Params) *Manager {
+	if params.PageSize <= 0 || params.BatchPages <= 0 || params.BatchPagesCC <= 0 {
+		panic("uvm: invalid params")
+	}
+	return &Manager{eng: eng, pl: pl, link: link, params: params}
+}
+
+// SetTracer attaches a tracer; subsequent fault batches are recorded.
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// SetResidentLimit caps device-resident managed bytes; exceeding it evicts
+// least-recently-used ranges page ranges.
+func (m *Manager) SetResidentLimit(n int64) { m.residentLimit = n }
+
+// Stats returns a snapshot of the paging counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResidentBytes returns managed bytes currently on the device.
+func (m *Manager) ResidentBytes() int64 { return m.residentBytes }
+
+// Params returns the paging constants.
+func (m *Manager) Params() Params { return m.params }
+
+// Range is one managed allocation.
+type Range struct {
+	mgr       *Manager
+	size      int64
+	resident  []bool
+	onGPU     int64 // resident page count
+	lastTouch int64 // LRU clock value
+	released  bool
+}
+
+// NewRange registers a managed allocation of the given size.
+func (m *Manager) NewRange(size int64) *Range {
+	if size <= 0 {
+		panic("uvm: managed range size must be positive")
+	}
+	pages := (size + m.params.PageSize - 1) / m.params.PageSize
+	r := &Range{mgr: m, size: size, resident: make([]bool, pages)}
+	m.ranges = append(m.ranges, r)
+	return r
+}
+
+// Size returns the range's byte size.
+func (r *Range) Size() int64 { return r.size }
+
+// ResidentPages returns how many of the range's pages are on the GPU.
+func (r *Range) ResidentPages() int64 { return r.onGPU }
+
+// Pages returns the total page count of the range.
+func (r *Range) Pages() int64 { return int64(len(r.resident)) }
+
+// Release drops the range: resident pages are discarded (the caller models
+// any free-time cost; see cuda.Free).
+func (r *Range) Release() {
+	if r.released {
+		panic("uvm: double release")
+	}
+	r.released = true
+	r.mgr.residentBytes -= r.onGPU * r.mgr.params.PageSize
+	r.onGPU = 0
+	for i := range r.resident {
+		r.resident[i] = false
+	}
+}
+
+// batchSize returns pages-per-batch for the current mode and pattern.
+func (m *Manager) batchSize(random bool) int {
+	b := m.params.BatchPages
+	if m.pl.SoftwareCryptoPath() {
+		b = m.params.BatchPagesCC
+	}
+	if random && m.params.RandomPenalty > 1 {
+		b = b / m.params.RandomPenalty
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// GPUAccess charges the calling process for a GPU-side access touching the
+// first `bytes` of the range (streaming) or `bytes` worth of scattered pages
+// (random). See GPUAccessAt.
+func (r *Range) GPUAccess(p *sim.Proc, bytes int64, random bool) {
+	r.GPUAccessAt(p, 0, bytes, random)
+}
+
+// GPUAccessAt charges a GPU-side access to the window [off, off+bytes) of
+// the range (wrapping at the end). Non-resident pages fault in via batched
+// migrations; resident pages are free. This is called by the compute engine
+// while a kernel runs, so migration time lands inside the kernel's
+// execution (exactly how Nsight sees UVM kernels).
+func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
+	if r.released {
+		panic("uvm: access to released range")
+	}
+	m := r.mgr
+	if bytes > r.size {
+		bytes = r.size
+	}
+	if off < 0 {
+		off = 0
+	}
+	off %= r.size
+	first := off / m.params.PageSize
+	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	r.lastTouch = m.nextClock()
+
+	total := int64(len(r.resident))
+	var missing []int
+	for i := int64(0); i < need && i < total; i++ {
+		idx := (first + i) % total
+		if !r.resident[idx] {
+			missing = append(missing, int(idx))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	batch := m.batchSize(random)
+	for start := 0; start < len(missing); start += batch {
+		end := start + batch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		n := end - start
+		m.migrateToGPU(p, r, missing[start:end], int64(n)*m.params.PageSize)
+	}
+}
+
+// PrefetchTo migrates the first `bytes` of the range to the device ahead
+// of use (the cudaMemPrefetchAsync optimization). Driver-initiated
+// migration always moves full prefetch-sized batches and pays no per-fault
+// round trip, so it recovers most of the encrypted-paging penalty: the
+// data still crosses the bounce buffer and the software cipher under CC,
+// but in streaming form.
+func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
+	if r.released {
+		panic("uvm: prefetch of released range")
+	}
+	m := r.mgr
+	if bytes > r.size {
+		bytes = r.size
+	}
+	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	r.lastTouch = m.nextClock()
+
+	var missing []int
+	for i := int64(0); i < need && i < int64(len(r.resident)); i++ {
+		if !r.resident[i] {
+			missing = append(missing, int(i))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	batch := m.params.BatchPages // full batches in both modes
+	for start := 0; start < len(missing); start += batch {
+		end := start + batch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		n := int64(end-start) * m.params.PageSize
+		startT := m.eng.Now()
+		if m.pl.SoftwareCryptoPath() {
+			m.pl.BounceAcquire(p, n)
+		}
+		m.pl.Encrypt(p, n)
+		m.link.Transfer(p, pcie.H2D, n)
+		if m.pl.SoftwareCryptoPath() {
+			m.pl.BounceRelease(n)
+		}
+		for _, i := range missing[start:end] {
+			if !r.resident[i] {
+				r.resident[i] = true
+				r.onGPU++
+				m.residentBytes += m.params.PageSize
+			}
+		}
+		m.stats.PagesMigrated += int64(end - start)
+		m.stats.BytesToGPU += n
+		m.evictIfNeeded(p, r)
+		if m.tracer != nil {
+			m.tracer.Record(trace.Event{
+				Kind: trace.KindFaultBatch, Name: "uvm-prefetch",
+				Start: startT, End: m.eng.Now(), Bytes: n, Managed: true,
+			})
+		}
+	}
+}
+
+// HostAccess charges a CPU-side touch of the first `bytes` of the range:
+// resident pages migrate back (write-back), paying decryption under CC.
+func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
+	if r.released {
+		panic("uvm: access to released range")
+	}
+	m := r.mgr
+	if bytes > r.size {
+		bytes = r.size
+	}
+	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	var back int64
+	for i := int64(0); i < need && i < int64(len(r.resident)); i++ {
+		if r.resident[i] {
+			r.resident[i] = false
+			back++
+		}
+	}
+	if back == 0 {
+		return
+	}
+	r.onGPU -= back
+	m.residentBytes -= back * m.params.PageSize
+	batch := int64(m.batchSize(false))
+	for moved := int64(0); moved < back; moved += batch {
+		n := batch
+		if back-moved < n {
+			n = back - moved
+		}
+		m.migrateToHost(p, n*m.params.PageSize)
+	}
+}
+
+func (m *Manager) nextClock() int64 {
+	m.clock++
+	return m.clock
+}
+
+// migrateToGPU services one fault batch: fault round trip, CC hypercalls,
+// encryption + bounce staging, DMA, and residency bookkeeping (with LRU
+// eviction when over the resident limit).
+func (m *Manager) migrateToGPU(p *sim.Proc, r *Range, pageIdx []int, bytes int64) {
+	start := m.eng.Now()
+	p.Sleep(m.params.FaultService)
+	if m.pl.SoftwareCryptoPath() {
+		for i := 0; i < m.params.CCFaultHypercalls; i++ {
+			m.pl.Hypercall(p)
+		}
+		m.pl.BounceAcquire(p, bytes)
+	}
+	m.pl.Encrypt(p, bytes) // hardware IDE under TEE-IO, no-op without CC
+	m.link.Transfer(p, pcie.H2D, bytes)
+	if m.pl.SoftwareCryptoPath() {
+		m.pl.BounceRelease(bytes)
+	}
+
+	for _, i := range pageIdx {
+		if !r.resident[i] {
+			r.resident[i] = true
+			r.onGPU++
+			m.residentBytes += m.params.PageSize
+		}
+	}
+	m.stats.FaultBatches++
+	m.stats.PagesMigrated += int64(len(pageIdx))
+	m.stats.BytesToGPU += bytes
+	m.evictIfNeeded(p, r)
+
+	if m.tracer != nil {
+		m.tracer.Record(trace.Event{
+			Kind: trace.KindFaultBatch, Name: "uvm-migrate",
+			Start: start, End: m.eng.Now(), Bytes: bytes, Managed: true,
+		})
+	}
+}
+
+// migrateToHost writes a batch back to host memory. Under CC the GPU-side
+// encryption is fast, but the host-side software decryption is the same
+// single-threaded worker as on the copy path.
+func (m *Manager) migrateToHost(p *sim.Proc, bytes int64) {
+	start := m.eng.Now()
+	p.Sleep(m.params.FaultService)
+	if m.pl.SoftwareCryptoPath() {
+		for i := 0; i < m.params.CCFaultHypercalls; i++ {
+			m.pl.Hypercall(p)
+		}
+		m.pl.BounceAcquire(p, bytes)
+	}
+	m.link.Transfer(p, pcie.D2H, bytes)
+	m.pl.Decrypt(p, bytes)
+	if m.pl.SoftwareCryptoPath() {
+		m.pl.BounceRelease(bytes)
+	}
+	m.stats.FaultBatches++
+	m.stats.BytesToHost += bytes
+	if m.tracer != nil {
+		m.tracer.Record(trace.Event{
+			Kind: trace.KindFaultBatch, Name: "uvm-writeback",
+			Start: start, End: m.eng.Now(), Bytes: bytes, Managed: true,
+		})
+	}
+}
+
+// evictIfNeeded pushes least-recently-touched ranges' pages back to host
+// until residency fits the limit. The currently faulting range is exempt.
+func (m *Manager) evictIfNeeded(p *sim.Proc, current *Range) {
+	if m.residentLimit <= 0 {
+		return
+	}
+	for m.residentBytes > m.residentLimit {
+		victim := m.lruVictim(current)
+		if victim == nil {
+			return // nothing evictable
+		}
+		evict := victim.onGPU
+		victim.resident = make([]bool, len(victim.resident))
+		victim.onGPU = 0
+		m.residentBytes -= evict * m.params.PageSize
+		m.stats.Evictions += evict
+		m.migrateToHost(p, evict*m.params.PageSize)
+	}
+}
+
+func (m *Manager) lruVictim(exempt *Range) *Range {
+	var victim *Range
+	for _, r := range m.ranges {
+		if r == exempt || r.released || r.onGPU == 0 {
+			continue
+		}
+		if victim == nil || r.lastTouch < victim.lastTouch {
+			victim = r
+		}
+	}
+	return victim
+}
+
+// String summarizes manager state for debugging.
+func (m *Manager) String() string {
+	return fmt.Sprintf("uvm{ranges=%d resident=%dB batches=%d}",
+		len(m.ranges), m.residentBytes, m.stats.FaultBatches)
+}

@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"hccsim/internal/cuda"
+	"hccsim/internal/sim"
+)
+
+// Result is one completed application run.
+type Result struct {
+	Spec    Spec
+	Mode    Mode
+	CC      bool
+	Runtime *cuda.Runtime
+	End     sim.Time
+}
+
+// Execute runs the application on a fresh simulated system and returns the
+// runtime (with its trace) for analysis. cfg is usually
+// cuda.DefaultConfig(cc); pass a modified config for sweeps.
+func Execute(spec Spec, mode Mode, cfg cuda.Config) Result {
+	eng := sim.NewEngine()
+	rt := cuda.New(eng, cfg)
+	eng.Spawn("host:"+spec.Name, func(p *sim.Proc) {
+		spec.Run(rt.Bind(p), mode)
+	})
+	end := eng.Run()
+	return Result{Spec: spec, Mode: mode, CC: cfg.CC, Runtime: rt, End: end}
+}
+
+// Pair runs the same application CC-off and CC-on with default configs —
+// the basic comparison unit of Figs. 5-10.
+func Pair(spec Spec, mode Mode) (base, cc Result) {
+	return Execute(spec, mode, cuda.DefaultConfig(false)),
+		Execute(spec, mode, cuda.DefaultConfig(true))
+}
