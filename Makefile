@@ -1,0 +1,44 @@
+# Developer/CI entry points. `make check` is the gate: formatting, vet, and
+# the full test suite under the race detector (the batch worker pool is the
+# main concurrency surface).
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check check bench report sweep-demo clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt-check vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+report:
+	$(GO) run ./cmd/hccreport
+
+# A small grid sweep exercising the worker pool and the on-disk cache; run
+# it twice to see the warm-cache path skip every simulation.
+sweep-demo:
+	$(GO) run ./cmd/hccsweep -workloads 2dconv,gemm,sc -modes cc,base \
+		-param PCIeGBps=8,16,32,64 -parallel 8 -cache .hcccache
+
+clean:
+	rm -rf .hcccache

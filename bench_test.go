@@ -9,6 +9,7 @@ package hccsim
 // b.ReportMetric for machine consumption.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -82,6 +83,28 @@ func BenchmarkObservations(b *testing.B) {
 	b.ReportMetric(agg.KLOAvg, "klo-x")
 	b.ReportMetric(agg.KQTAvg, "kqt-x")
 	b.ReportMetric(agg.UVMCCAvg, "uvmcc-x")
+}
+
+// BenchmarkFullFigureSet regenerates every figure serially and through the
+// batch worker pool — the wall-clock win of the sweep-orchestration
+// subsystem on the heaviest built-in campaign (cmd/hccreport's workload).
+func BenchmarkFullFigureSet(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pooled", runtime.GOMAXPROCS(0)}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tables, err := figures.GenerateAll(bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) != len(figures.IDs()) {
+					b.Fatalf("generated %d tables, want %d", len(tables), len(figures.IDs()))
+				}
+			}
+		})
+	}
 }
 
 // --- ablation benches: the design choices DESIGN.md calls out ---

@@ -1,0 +1,273 @@
+// Command hccsweep runs grid sweeps of the simulator through the
+// internal/batch worker pool: a cross product of applications (benchmark
+// workloads, CNN training cells, LLM serving cells, or whole figures), CC
+// modes, and named configuration-parameter values, executed concurrently
+// with content-addressed result caching. Results are deterministic — the
+// output is byte-identical at any -parallel level, and a warm cache skips
+// re-simulation entirely.
+//
+// Example — the Fig. 5 transfer crossover as a PCIe-bandwidth grid:
+//
+//	hccsweep -workloads 2dconv,gemm,sc -modes cc,base \
+//	    -param PCIeGBps=8,16,32,64 -parallel 8 -cache .hcccache
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hccsim/internal/batch"
+	"hccsim/internal/figures"
+	"hccsim/internal/workloads"
+)
+
+// paramFlag collects repeatable -param Name=v1,v2,... grid axes.
+type paramFlag struct {
+	names  []string
+	values [][]float64
+}
+
+func (p *paramFlag) String() string { return strings.Join(p.names, ",") }
+
+func (p *paramFlag) Set(s string) error {
+	name, list, ok := strings.Cut(s, "=")
+	if !ok || name == "" || list == "" {
+		return fmt.Errorf("want Name=v1,v2,... , got %q", s)
+	}
+	var vals []float64
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		vals = append(vals, v)
+	}
+	p.names = append(p.names, name)
+	p.values = append(p.values, vals)
+	return nil
+}
+
+func main() {
+	var params paramFlag
+	apps := flag.String("workloads", "", "benchmark applications: comma list or 'all'")
+	figs := flag.String("figures", "", "figure ids: comma list or 'all'")
+	cnns := flag.String("cnn", "", "CNN cells model:batch:precision, comma list (e.g. resnet50:64:fp32)")
+	llms := flag.String("llm", "", "LLM cells backend:quant:batch, comma list (e.g. vllm:awq:8)")
+	uvm := flag.Bool("uvm", false, "also sweep the UVM variant of UVM-capable workloads")
+	modes := flag.String("modes", "cc,base", "comma list of cc,base")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
+	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = in-memory only)")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	out := flag.String("o", "-", "output file ('-' for stdout)")
+	listParams := flag.Bool("list-params", false, "list sweepable config parameters and exit")
+	flag.Var(&params, "param", "grid axis Name=v1,v2,... (repeatable; cross product)")
+	flag.Parse()
+
+	if *listParams {
+		fmt.Println("sweepable parameters (as -param Name=v1,v2,...):")
+		for _, n := range batch.OverrideNames() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	jobs, err := buildJobs(*apps, *cnns, *llms, *uvm, *modes, params)
+	if err != nil {
+		fatal(err)
+	}
+	if *figs != "" {
+		ids := strings.Split(*figs, ",")
+		if *figs == "all" {
+			ids = nil
+		}
+		jobs = append(jobs, figures.Jobs(ids...)...)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "hccsweep: nothing to run (use -workloads, -figures, -cnn or -llm)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	results, cache, err := batch.Run(jobs, *parallel, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := emit(w, *format, results); err != nil {
+		fatal(err)
+	}
+
+	hits, _, stores := cache.Stats()
+	fmt.Fprintf(os.Stderr, "hccsweep: %d jobs in %s (%d workers): %d cached, %d simulated\n",
+		len(results), elapsed, *parallel, hits, stores)
+	for _, r := range results {
+		if r.Err != nil {
+			os.Exit(1)
+		}
+	}
+}
+
+// buildJobs expands the app/mode/parameter axes into the job grid.
+func buildJobs(apps, cnns, llms string, uvm bool, modes string, params paramFlag) ([]batch.Job, error) {
+	ccModes, err := parseModes(modes)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []batch.Job
+	if apps != "" {
+		names := strings.Split(apps, ",")
+		if apps == "all" {
+			names = workloads.Names()
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, cc := range ccModes {
+				jobs = append(jobs, batch.WorkloadJob(name, false, cc))
+				if uvm && spec.UVMCapable {
+					jobs = append(jobs, batch.WorkloadJob(name, true, cc))
+				}
+			}
+		}
+	}
+	for _, cell := range splitCells(cnns) {
+		model, b, prec, err := parseTriple(cell, "model:batch:precision")
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range ccModes {
+			jobs = append(jobs, batch.CNNJob(model, b, prec, cc))
+		}
+	}
+	for _, cell := range splitCells(llms) {
+		backend, b, quant, err := parseLLMCell(cell)
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range ccModes {
+			jobs = append(jobs, batch.LLMJob(backend, quant, b, cc))
+		}
+	}
+	for i, name := range params.names {
+		jobs = batch.Grid(jobs, name, params.values[i])
+	}
+	return jobs, nil
+}
+
+func parseModes(s string) ([]bool, error) {
+	var out []bool
+	for _, m := range strings.Split(s, ",") {
+		switch strings.TrimSpace(m) {
+		case "cc":
+			out = append(out, true)
+		case "base":
+			out = append(out, false)
+		default:
+			return nil, fmt.Errorf("hccsweep: unknown mode %q (want cc or base)", m)
+		}
+	}
+	return out, nil
+}
+
+func splitCells(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// parseTriple parses model:batch:precision.
+func parseTriple(cell, form string) (string, int, string, error) {
+	parts := strings.Split(strings.TrimSpace(cell), ":")
+	if len(parts) != 3 {
+		return "", 0, "", fmt.Errorf("hccsweep: want %s, got %q", form, cell)
+	}
+	b, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, "", fmt.Errorf("hccsweep: batch in %q: %v", cell, err)
+	}
+	return parts[0], b, parts[2], nil
+}
+
+// parseLLMCell parses backend:quant:batch.
+func parseLLMCell(cell string) (string, int, string, error) {
+	parts := strings.Split(strings.TrimSpace(cell), ":")
+	if len(parts) != 3 {
+		return "", 0, "", fmt.Errorf("hccsweep: want backend:quant:batch, got %q", cell)
+	}
+	b, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, "", fmt.Errorf("hccsweep: batch in %q: %v", cell, err)
+	}
+	return parts[0], b, parts[1], nil
+}
+
+// emit renders the results in the requested format: the sweep table (plus
+// the CC/base ratio table when both modes are present) as text or CSV, or
+// the full per-job payloads as JSON.
+func emit(w *os.File, format string, results []batch.Result) error {
+	switch format {
+	case "table":
+		t := batch.SweepTable(results)
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return err
+		}
+		if rt := batch.RatioTable(results); len(rt.Rows) > 0 {
+			_, err := fmt.Fprintln(w, rt.String())
+			return err
+		}
+		return nil
+	case "csv":
+		t := batch.SweepTable(results)
+		return t.WriteCSV(w)
+	case "json":
+		type jobOut struct {
+			Job    batch.Job
+			Key    string
+			Cached bool
+			Error  string        `json:",omitempty"`
+			Result batch.Payload `json:",omitempty"`
+		}
+		outs := make([]jobOut, len(results))
+		for i, r := range results {
+			outs[i] = jobOut{Job: r.Job, Key: r.Key, Cached: r.Cached, Result: r.Payload}
+			if r.Err != nil {
+				outs[i].Error = r.Err.Error()
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(outs)
+	}
+	return fmt.Errorf("hccsweep: unknown format %q (want table, csv or json)", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

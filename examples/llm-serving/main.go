@@ -7,9 +7,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"hccsim"
 )
+
+// serve runs one configuration, exiting on invalid backend/quant names.
+func serve(backend, quant string, batch int, cc bool) hccsim.LLMResult {
+	r, err := hccsim.ServeLLM(backend, quant, batch, cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	batches := []int{1, 8, 16, 32, 64, 128}
@@ -27,7 +37,7 @@ func main() {
 				label := fmt.Sprintf("%s cc-%v", quant, onOff(cc))
 				fmt.Printf("  %-18s", label)
 				for _, b := range batches {
-					r := hccsim.ServeLLM(backend, quant, b, cc)
+					r := serve(backend, quant, b, cc)
 					fmt.Printf(" %8.0f", r.TokensPerSec)
 				}
 				fmt.Println()
@@ -40,8 +50,8 @@ func main() {
 		for _, cc := range []bool{false, true} {
 			fmt.Printf("  %-18s", fmt.Sprintf("%s cc-%v vllm", quant, onOff(cc)))
 			for _, b := range batches {
-				base := hccsim.ServeLLM("hf", "bf16", b, false)
-				v := hccsim.ServeLLM("vllm", quant, b, cc)
+				base := serve("hf", "bf16", b, false)
+				v := serve("vllm", quant, b, cc)
 				fmt.Printf(" %8.2f", v.TokensPerSec/base.TokensPerSec)
 			}
 			fmt.Println()

@@ -36,6 +36,7 @@ package hccsim
 import (
 	"time"
 
+	"hccsim/internal/batch"
 	"hccsim/internal/core"
 	"hccsim/internal/cuda"
 	"hccsim/internal/figures"
@@ -69,6 +70,16 @@ type (
 	Table = figures.Table
 	// Workload is a benchmark application specification.
 	Workload = workloads.Spec
+	// TrainResult is one CNN training measurement (TrainCNN).
+	TrainResult = nn.TrainResult
+	// LLMResult is one LLM serving measurement (ServeLLM).
+	LLMResult = nn.LLMResult
+	// Job is one independent simulation in a batch sweep (see RunJobs).
+	Job = batch.Job
+	// JobResult is one completed sweep job.
+	JobResult = batch.Result
+	// Override names one config parameter a sweep job changes.
+	Override = batch.Override
 )
 
 // DefaultConfig returns the paper's Table I system (dual Xeon 6530 + H100
@@ -79,6 +90,7 @@ func DefaultConfig(cc bool) Config { return cuda.DefaultConfig(cc) }
 type System struct {
 	eng *sim.Engine
 	rt  *cuda.Runtime
+	ran bool
 }
 
 // NewSystem builds a system from the config.
@@ -91,8 +103,14 @@ func NewSystem(cfg Config) *System {
 func (s *System) CC() bool { return s.rt.CC() }
 
 // Run executes app as the host program and returns the simulated elapsed
-// time. Run may be called once per System; build a fresh System per run.
+// time. Run may be called once per System — the engine, trace and device
+// state are consumed by the run — so build a fresh System per run; a second
+// call panics.
 func (s *System) Run(app func(c *Context)) time.Duration {
+	if s.ran {
+		panic("hccsim: System.Run called twice; a System simulates one run — build a fresh System (NewSystem) per run")
+	}
+	s.ran = true
 	start := s.eng.Now()
 	s.eng.Spawn("host", func(p *sim.Proc) {
 		app(s.rt.Bind(p))
@@ -165,31 +183,35 @@ func TrainCNN(model string, batch int, precision string, cc bool) (nn.TrainResul
 	if err != nil {
 		return nn.TrainResult{}, err
 	}
-	var prec nn.Precision
-	switch precision {
-	case "fp32":
-		prec = nn.FP32
-	case "amp":
-		prec = nn.AMP
-	case "fp16":
-		prec = nn.FP16
-	default:
+	prec, err := nn.PrecisionByName(precision)
+	if err != nil {
 		return nn.TrainResult{}, &UnknownPrecisionError{Precision: precision}
 	}
 	return nn.TrainSimulate(nn.TrainConfig{Model: m, Batch: batch, Precision: prec, CC: cc}), nil
 }
 
 // ServeLLM runs one Fig. 14 inference configuration (backend "hf" or
-// "vllm"; quant "bf16" or "awq").
-func ServeLLM(backend, quant string, batch int, cc bool) nn.LLMResult {
-	cfg := nn.LLMConfig{Batch: batch, CC: cc}
-	if backend == "vllm" {
-		cfg.Backend = nn.VLLM
+// "vllm"; quant "bf16" or "awq"). Unknown backend or quantization names are
+// errors (UnknownBackendError / UnknownQuantError), not silent defaults.
+func ServeLLM(backend, quant string, batch int, cc bool) (nn.LLMResult, error) {
+	b, err := nn.BackendByName(backend)
+	if err != nil {
+		return nn.LLMResult{}, &UnknownBackendError{Backend: backend}
 	}
-	if quant == "awq" {
-		cfg.Quant = nn.AWQ
+	q, err := nn.QuantByName(quant)
+	if err != nil {
+		return nn.LLMResult{}, &UnknownQuantError{Quant: quant}
 	}
-	return nn.LLMSimulate(cfg)
+	return nn.LLMSimulate(nn.LLMConfig{Backend: b, Quant: q, Batch: batch, CC: cc}), nil
+}
+
+// RunJobs executes a batch of sweep jobs on a bounded worker pool with
+// result caching: parallel <= 0 uses GOMAXPROCS, cacheDir "" keeps the
+// cache in memory only. Results keep submission order and are
+// byte-identical whether fresh, cached, or run at any parallelism.
+func RunJobs(jobs []Job, parallel int, cacheDir string) ([]JobResult, error) {
+	results, _, err := batch.Run(jobs, parallel, cacheDir)
+	return results, err
 }
 
 // UnknownPrecisionError reports an unrecognized CNN precision name.
@@ -197,4 +219,18 @@ type UnknownPrecisionError struct{ Precision string }
 
 func (e *UnknownPrecisionError) Error() string {
 	return "hccsim: unknown precision " + e.Precision + " (want fp32, amp or fp16)"
+}
+
+// UnknownBackendError reports an unrecognized LLM serving backend name.
+type UnknownBackendError struct{ Backend string }
+
+func (e *UnknownBackendError) Error() string {
+	return "hccsim: unknown LLM backend " + e.Backend + " (want hf or vllm)"
+}
+
+// UnknownQuantError reports an unrecognized LLM quantization name.
+type UnknownQuantError struct{ Quant string }
+
+func (e *UnknownQuantError) Error() string {
+	return "hccsim: unknown quantization " + e.Quant + " (want bf16 or awq)"
 }

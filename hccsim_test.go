@@ -1,6 +1,8 @@
 package hccsim
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 	"time"
 )
@@ -103,8 +105,76 @@ func TestNNAccess(t *testing.T) {
 	if _, err := TrainCNN("alexnet", 64, "fp32", true); err == nil {
 		t.Fatal("expected error for unknown model")
 	}
-	l := ServeLLM("vllm", "awq", 8, true)
+	l, err := ServeLLM("vllm", "awq", 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if l.TokensPerSec <= 0 {
 		t.Fatalf("bad LLM result %+v", l)
+	}
+	if _, err := ServeLLM("tensorrt", "bf16", 8, true); err == nil {
+		t.Fatal("expected error for unknown backend")
+	} else if _, ok := err.(*UnknownBackendError); !ok {
+		t.Fatalf("want *UnknownBackendError, got %T: %v", err, err)
+	}
+	if _, err := ServeLLM("vllm", "int4", 8, true); err == nil {
+		t.Fatal("expected error for unknown quantization")
+	} else if _, ok := err.(*UnknownQuantError); !ok {
+		t.Fatalf("want *UnknownQuantError, got %T: %v", err, err)
+	}
+}
+
+// TestRunOnce asserts that a System enforces its single-run contract: the
+// second Run call must panic with a clear message instead of silently
+// reusing consumed engine state.
+func TestRunOnce(t *testing.T) {
+	sys := NewSystem(DefaultConfig(false))
+	app := func(c *Context) {
+		d := c.Malloc("d", 1<<20)
+		c.Free(d)
+	}
+	sys.Run(app)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Run called twice") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	sys.Run(app)
+}
+
+// TestRunJobs drives a small sweep through the facade: fresh vs cached
+// results must be byte-identical and keep submission order.
+func TestRunJobs(t *testing.T) {
+	jobs := []Job{
+		{Kind: "workload", Workload: "2mm", CC: false},
+		{Kind: "workload", Workload: "2mm", CC: true,
+			Overrides: []Override{{Param: "PCIeGBps", Value: 16}}},
+	}
+	dir := t.TempDir()
+	fresh, err := RunJobs(jobs, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunJobs(jobs, 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if fresh[i].Err != nil || cached[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, fresh[i].Err, cached[i].Err)
+		}
+		if fresh[i].Cached || !cached[i].Cached {
+			t.Fatalf("job %d cache flags: fresh=%v cached=%v", i, fresh[i].Cached, cached[i].Cached)
+		}
+		if !bytes.Equal(fresh[i].Bytes, cached[i].Bytes) {
+			t.Fatalf("job %d cached payload differs from fresh run", i)
+		}
+		if fresh[i].Payload.Model == nil || fresh[i].Payload.Model.Total <= 0 {
+			t.Fatalf("job %d empty model", i)
+		}
 	}
 }

@@ -1,0 +1,110 @@
+package batch
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hccsim/internal/core"
+	"hccsim/internal/tab"
+)
+
+// SweepTable merges per-job results into one table: a row per job in
+// submission order, with the Section V model components where the job
+// produces a Model and the domain throughput for CNN/LLM jobs.
+func SweepTable(results []Result) tab.Table {
+	t := tab.Table{
+		ID:    "sweep",
+		Title: "batch sweep results",
+		Columns: []string{"job", "kind", "cached", "sim-ms",
+			"copy-ms", "launch-ms", "kernel-ms", "other-ms", "alpha", "beta", "klr", "throughput"},
+	}
+	var failed int
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+			t.AddRow(r.Job.Label(), string(r.Job.Kind), "-", "ERR", "-", "-", "-", "-", "-", "-", "-", "-")
+			t.Notes = append(t.Notes, fmt.Sprintf("%s failed: %v", r.Job.Label(), r.Err))
+			continue
+		}
+		cells := []interface{}{r.Job.Label(), string(r.Job.Kind), r.Cached, msCell(r.Payload.Elapsed)}
+		switch {
+		case r.Payload.Model != nil:
+			m := r.Payload.Model
+			cells = append(cells, msCell(m.Tmem), msCell(m.LaunchTerm), msCell(m.KernelTerm),
+				msCell(m.Tother), m.Alpha, m.Beta, m.KLR(), "-")
+		case r.Payload.CNN != nil:
+			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
+				fmt.Sprintf("%.0f img/s", r.Payload.CNN.Throughput))
+		case r.Payload.LLM != nil:
+			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
+				fmt.Sprintf("%.0f tok/s", r.Payload.LLM.TokensPerSec))
+		case r.Payload.Table != nil:
+			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
+				fmt.Sprintf("%d rows", len(r.Payload.Table.Rows)))
+		default:
+			cells = append(cells, "-", "-", "-", "-", "-", "-", "-", "-")
+		}
+		t.AddRow(cells...)
+	}
+	hit := 0
+	for _, r := range results {
+		if r.Cached {
+			hit++
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d jobs, %d cached, %d failed", len(results), hit, failed))
+	return t
+}
+
+// RatioTable pairs results that differ only in CC mode and reports
+// component-wise CC/base ratios — the sweep-level analogue of the
+// normalized bars of Figs. 5-7. Unpaired or model-less results are skipped.
+func RatioTable(results []Result) tab.Table {
+	t := tab.Table{
+		ID:      "sweep-ratio",
+		Title:   "CC/base component ratios per sweep point",
+		Columns: []string{"job", "tmem", "klo", "lqt", "kqt", "ket", "alloc", "free", "total"},
+	}
+	type pair struct{ base, cc *core.Model }
+	pairs := make(map[string]*pair)
+	var order []string
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil || r.Payload.Model == nil {
+			continue
+		}
+		key := pairKey(r.Job)
+		p, ok := pairs[key]
+		if !ok {
+			p = &pair{}
+			pairs[key] = p
+			order = append(order, key)
+		}
+		if r.Job.CC {
+			p.cc = r.Payload.Model
+		} else {
+			p.base = r.Payload.Model
+		}
+	}
+	for _, key := range order {
+		p := pairs[key]
+		if p.base == nil || p.cc == nil {
+			continue
+		}
+		ratio := core.Compare(*p.base, *p.cc)
+		t.AddRow(key, ratio.Tmem, ratio.KLO, ratio.LQT, ratio.KQT, ratio.KET,
+			ratio.Alloc, ratio.Free, ratio.Total)
+	}
+	return t
+}
+
+// pairKey is the job label with the cc/base mode segment removed, so the
+// two modes of one sweep point collide.
+func pairKey(j Job) string {
+	j.CC = false
+	return strings.Replace(j.Label(), "/base", "", 1)
+}
+
+// msCell renders a duration in milliseconds.
+func msCell(d time.Duration) float64 { return d.Seconds() * 1e3 }

@@ -1,0 +1,113 @@
+package batch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed result store: job key -> canonical payload
+// JSON. Entries live in memory for the life of the process and, when a
+// directory is configured, on disk as <dir>/<key[:2]>/<key>.json so later
+// processes (and later hccsweep invocations) skip re-simulation. It is safe
+// for concurrent use by the pool's workers.
+type Cache struct {
+	dir string
+	mu  sync.RWMutex
+	mem map[string][]byte
+
+	hits, misses, stores atomic.Uint64
+}
+
+// NewCache returns a cache. dir == "" keeps results in memory only;
+// otherwise the directory is created and used as the persistent tier.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("batch: creating cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// MemoryCache returns an in-memory-only cache.
+func MemoryCache() *Cache {
+	c, _ := NewCache("")
+	return c
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the stored payload bytes for key, consulting memory first and
+// then disk (promoting disk hits to memory).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	b, ok := c.mem[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return b, true
+	}
+	if c.dir != "" {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.mem[key] = b
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return b, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the payload bytes under key in memory and, if configured, on
+// disk (written atomically via a temp file so concurrent readers never see a
+// torn entry).
+func (c *Cache) Put(key string, b []byte) error {
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+	c.stores.Add(1)
+	if c.dir == "" {
+		return nil
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("batch: cache shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("batch: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("batch: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("batch: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("batch: cache rename: %w", err)
+	}
+	return nil
+}
+
+// Stats reports hit/miss/store counters since the cache was created.
+func (c *Cache) Stats() (hits, misses, stores uint64) {
+	return c.hits.Load(), c.misses.Load(), c.stores.Load()
+}
+
+// Len is the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.mem)
+}

@@ -1,0 +1,199 @@
+// Package batch is the sweep-orchestration subsystem: it turns independent
+// simulator runs — benchmark workloads, paper figures, CNN training and LLM
+// serving configurations — into Jobs, executes them on a bounded worker pool
+// with deterministic result ordering, and memoizes results in a
+// content-addressed cache (in-memory plus optional on-disk). Every job is a
+// deterministic function of its spec and configuration, so a cached result
+// is byte-identical to a fresh run; the package tests assert this.
+//
+// Layering: batch sits above the simulator layers (cuda, workloads, nn,
+// core, trace) and below their consumers. The figures package registers its
+// generator runner here at init and routes Generate/GenerateAll through a
+// pool, cmd/hccreport regenerates the full report in parallel, and
+// cmd/hccsweep exposes grid sweeps over named configuration parameters.
+package batch
+
+import (
+	"fmt"
+	"strings"
+
+	"hccsim/internal/cuda"
+	"hccsim/internal/workloads"
+)
+
+// Kind discriminates what a Job simulates.
+type Kind string
+
+// Job kinds.
+const (
+	KindWorkload Kind = "workload" // one benchmark application run
+	KindFigure   Kind = "figure"   // one paper figure / extension table
+	KindCNN      Kind = "cnn"      // one Fig. 13 CNN training cell
+	KindLLM      Kind = "llm"      // one Fig. 14 LLM serving cell
+)
+
+// Override names one configuration parameter to change from the default
+// config, e.g. {"PCIe.EffectiveGBps", 16}. Duration-valued parameters take
+// nanoseconds. See OverrideNames for the accepted parameter paths.
+type Override struct {
+	Param string
+	Value float64
+}
+
+func (o Override) String() string { return fmt.Sprintf("%s=%g", o.Param, o.Value) }
+
+// Job is one independent, deterministic simulation: a spec (what to run), a
+// mode, and the system configuration to run it under. The zero value is
+// invalid; use the constructors or fill Kind plus the kind's spec fields.
+type Job struct {
+	Kind Kind
+
+	// Workload jobs.
+	Workload string `json:",omitempty"` // application name (workloads.ByName)
+	UVM      bool   `json:",omitempty"` // managed-memory variant
+
+	// Figure jobs.
+	Figure string `json:",omitempty"` // figure id (figures.Generate)
+
+	// CNN training jobs.
+	Model     string `json:",omitempty"` // CNN name (nn.ModelByName)
+	Precision string `json:",omitempty"` // fp32 | amp | fp16
+
+	// LLM serving jobs.
+	Backend string `json:",omitempty"` // hf | vllm
+	Quant   string `json:",omitempty"` // bf16 | awq
+
+	// Batch is the CNN or LLM batch size.
+	Batch int `json:",omitempty"`
+
+	// CC selects confidential-computing mode (ignored for figure jobs,
+	// which fix their own modes internally).
+	CC bool
+
+	// Overrides patch named parameters of the default config, in order.
+	Overrides []Override `json:",omitempty"`
+
+	// Config, when non-nil, replaces DefaultConfig(CC) as the base
+	// configuration (Overrides still apply on top).
+	Config *cuda.Config `json:",omitempty"`
+
+	// NoCache marks a job whose result must not be memoized (e.g. fig4b
+	// measures wall-clock crypto throughput on the build machine).
+	NoCache bool `json:",omitempty"`
+}
+
+// WorkloadJob builds a benchmark-application job.
+func WorkloadJob(name string, uvm, cc bool, overrides ...Override) Job {
+	return Job{Kind: KindWorkload, Workload: name, UVM: uvm, CC: cc, Overrides: overrides}
+}
+
+// FigureJob builds a figure-regeneration job. Prefer figures.Jobs, which
+// also marks machine-measuring figures NoCache.
+func FigureJob(id string) Job { return Job{Kind: KindFigure, Figure: id} }
+
+// CNNJob builds a Fig. 13 CNN-training job.
+func CNNJob(model string, batch int, precision string, cc bool, overrides ...Override) Job {
+	return Job{Kind: KindCNN, Model: model, Batch: batch, Precision: precision, CC: cc, Overrides: overrides}
+}
+
+// LLMJob builds a Fig. 14 LLM-serving job.
+func LLMJob(backend, quant string, batch int, cc bool, overrides ...Override) Job {
+	return Job{Kind: KindLLM, Backend: backend, Quant: quant, Batch: batch, CC: cc, Overrides: overrides}
+}
+
+// Label is a short human-readable identifier for sweep tables and logs.
+func (j Job) Label() string {
+	var b strings.Builder
+	switch j.Kind {
+	case KindWorkload:
+		b.WriteString(j.Workload)
+		if j.UVM {
+			b.WriteString("/uvm")
+		}
+	case KindFigure:
+		b.WriteString(j.Figure)
+	case KindCNN:
+		fmt.Fprintf(&b, "%s/b%d/%s", j.Model, j.Batch, j.Precision)
+	case KindLLM:
+		fmt.Fprintf(&b, "%s/%s/b%d", j.Backend, j.Quant, j.Batch)
+	default:
+		fmt.Fprintf(&b, "invalid(%s)", j.Kind)
+	}
+	if j.Kind != KindFigure {
+		if j.CC {
+			b.WriteString("/cc")
+		} else {
+			b.WriteString("/base")
+		}
+	}
+	for _, o := range j.Overrides {
+		b.WriteString("/")
+		b.WriteString(o.String())
+	}
+	return b.String()
+}
+
+// Validate checks the job spec without running it: the referenced workload,
+// model or names must exist and every override must resolve.
+func (j Job) Validate() error {
+	switch j.Kind {
+	case KindWorkload:
+		if _, err := workloads.ByName(j.Workload); err != nil {
+			return err
+		}
+	case KindFigure:
+		if j.Figure == "" {
+			return fmt.Errorf("batch: figure job without a figure id")
+		}
+		if len(j.Overrides) > 0 || j.Config != nil {
+			return fmt.Errorf("batch: figure %s takes no config overrides (figures fix their own configurations)", j.Figure)
+		}
+	case KindCNN:
+		if j.Model == "" || j.Batch <= 0 || j.Precision == "" {
+			return fmt.Errorf("batch: cnn job needs model, batch and precision: %+v", j)
+		}
+	case KindLLM:
+		if j.Backend == "" || j.Quant == "" || j.Batch <= 0 {
+			return fmt.Errorf("batch: llm job needs backend, quant and batch: %+v", j)
+		}
+	default:
+		return fmt.Errorf("batch: unknown job kind %q", j.Kind)
+	}
+	cfg := cuda.DefaultConfig(j.CC)
+	for _, o := range j.Overrides {
+		if err := ApplyOverride(&cfg, o.Param, o.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EffectiveConfig resolves the full system configuration the job runs under:
+// the base config (Config or DefaultConfig(CC)) with Overrides applied.
+func (j Job) EffectiveConfig() (cuda.Config, error) {
+	cfg := cuda.DefaultConfig(j.CC)
+	if j.Config != nil {
+		cfg = *j.Config
+	}
+	for _, o := range j.Overrides {
+		if err := ApplyOverride(&cfg, o.Param, o.Value); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// Grid expands every job once per value of the named parameter — the
+// cartesian building block of cmd/hccsweep. Applying Grid repeatedly with
+// different parameters yields the full cross product.
+func Grid(jobs []Job, param string, values []float64) []Job {
+	out := make([]Job, 0, len(jobs)*len(values))
+	for _, j := range jobs {
+		for _, v := range values {
+			nj := j
+			nj.Overrides = append(append([]Override{}, j.Overrides...), Override{Param: param, Value: v})
+			out = append(out, nj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package batch
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"hccsim/internal/cuda"
+)
+
+// Named configuration parameters. A parameter path is "Section.Field" over
+// the cuda.Config struct ("PCIe.EffectiveGBps", "TDX.Hypercall",
+// "Host.FenceInterval", ...); the section prefix may be concatenated
+// ("PCIeEffectiveGBps") and a few common knobs have short aliases. Numeric
+// kinds supported: float64, int, int64, bool (nonzero = true) and
+// time.Duration (value in nanoseconds). String-valued fields (crypto
+// algorithm/CPU selection) are not sweepable by number and are rejected.
+
+// aliases maps ergonomic sweep names to canonical parameter paths.
+var aliases = map[string]string{
+	"PCIeGBps":      "PCIe.EffectiveGBps",
+	"HBMGBps":       "HBM.BandwidthGBps",
+	"HostMemGBps":   "TDX.HostMemcpyGBps",
+	"CryptoWorkers": "TDX.CryptoWorkers",
+	"Hypercall":     "TDX.Hypercall",
+	"BatchPagesCC":  "UVM.BatchPagesCC",
+	"FenceInterval": "Host.FenceInterval",
+	"TEEIO":         "TDX.TEEIO",
+}
+
+var durationType = reflect.TypeOf(time.Duration(0))
+
+// resolve finds the (section, field) for a parameter name, trying the alias
+// table, an explicit "Section.Field" path, and a concatenated section
+// prefix, in that order.
+func resolve(cfg *cuda.Config, name string) (reflect.Value, error) {
+	if full, ok := aliases[name]; ok {
+		name = full
+	}
+	v := reflect.ValueOf(cfg).Elem()
+	t := v.Type()
+	section, field := "", name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		section, field = name[:i], name[i+1:]
+	}
+	for i := 0; i < t.NumField(); i++ {
+		sec := v.Field(i)
+		if sec.Kind() != reflect.Struct {
+			continue
+		}
+		secName := t.Field(i).Name
+		switch {
+		case section != "":
+			if secName != section {
+				continue
+			}
+			if f := sec.FieldByName(field); f.IsValid() {
+				return f, nil
+			}
+		case strings.HasPrefix(name, secName):
+			if f := sec.FieldByName(strings.TrimPrefix(name, secName)); f.IsValid() {
+				return f, nil
+			}
+		}
+	}
+	return reflect.Value{}, fmt.Errorf("batch: unknown config parameter %q (see OverrideNames; aliases: %v)",
+		name, aliasList())
+}
+
+// ApplyOverride sets the named parameter on cfg. Duration-valued parameters
+// interpret value as nanoseconds; bool parameters treat nonzero as true.
+func ApplyOverride(cfg *cuda.Config, name string, value float64) error {
+	f, err := resolve(cfg, name)
+	if err != nil {
+		return err
+	}
+	switch {
+	case f.Type() == durationType:
+		f.SetInt(int64(value))
+	case f.Kind() == reflect.Float64:
+		f.SetFloat(value)
+	case f.Kind() == reflect.Int || f.Kind() == reflect.Int64:
+		f.SetInt(int64(value))
+	case f.Kind() == reflect.Bool:
+		f.SetBool(value != 0)
+	default:
+		return fmt.Errorf("batch: parameter %q has non-numeric type %s and cannot be swept", name, f.Type())
+	}
+	return nil
+}
+
+// OverrideNames lists every sweepable "Section.Field" parameter path, with a
+// unit suffix for durations, sorted.
+func OverrideNames() []string {
+	cfg := cuda.DefaultConfig(false)
+	v := reflect.ValueOf(cfg)
+	t := v.Type()
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		sec := v.Field(i)
+		if sec.Kind() != reflect.Struct {
+			continue
+		}
+		st := sec.Type()
+		for j := 0; j < st.NumField(); j++ {
+			f := sec.Field(j)
+			path := t.Field(i).Name + "." + st.Field(j).Name
+			switch {
+			case f.Type() == durationType:
+				out = append(out, path+" (ns)")
+			case f.Kind() == reflect.Float64, f.Kind() == reflect.Int,
+				f.Kind() == reflect.Int64, f.Kind() == reflect.Bool:
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func aliasList() []string {
+	var out []string
+	for a := range aliases {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

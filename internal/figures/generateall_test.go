@@ -1,0 +1,57 @@
+package figures
+
+import "testing"
+
+// TestGenerateAllMatchesSerial asserts the pool changes only wall-clock
+// time, never content: every deterministic figure renders identically
+// whether generated serially or fanned out across workers. fig4b is
+// excluded — it measures real crypto throughput on the build machine.
+func TestGenerateAllMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure set in -short mode")
+	}
+	var ids []string
+	for _, id := range IDs() {
+		if !volatileIDs[id] {
+			ids = append(ids, id)
+		}
+	}
+	serial := make(map[string]string, len(ids))
+	for _, id := range ids {
+		tab, err := Generate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[id] = tab.String()
+	}
+	tables, err := GenerateAll(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(IDs()) {
+		t.Fatalf("GenerateAll returned %d tables, want %d", len(tables), len(IDs()))
+	}
+	for i, tab := range tables {
+		if tab.ID != IDs()[i] {
+			t.Fatalf("table %d out of order: %s, want %s", i, tab.ID, IDs()[i])
+		}
+		want, ok := serial[tab.ID]
+		if !ok {
+			continue // volatile figure
+		}
+		if got := tab.String(); got != want {
+			t.Errorf("%s differs between serial and pooled generation:\n--- pooled ---\n%s--- serial ---\n%s",
+				tab.ID, got, want)
+		}
+	}
+}
+
+// TestFigureJobsVolatile pins the NoCache marking of machine-measuring
+// figures.
+func TestFigureJobsVolatile(t *testing.T) {
+	for _, j := range Jobs() {
+		if want := volatileIDs[j.Figure]; j.NoCache != want {
+			t.Errorf("%s NoCache=%v, want %v", j.Figure, j.NoCache, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package figures
 import (
 	"fmt"
 	"sort"
+
+	"hccsim/internal/batch"
 )
 
 // Generator produces one reproduced figure.
@@ -76,11 +78,68 @@ func IDs() []string {
 // Describe returns the one-line description of a figure id.
 func Describe(id string) string { return registry[id].desc }
 
-// Generate runs the generator for id.
-func Generate(id string) (Table, error) {
+// volatileIDs are figures that measure the build machine (wall-clock crypto
+// throughput), so their jobs must never be served from a result cache.
+var volatileIDs = map[string]bool{"fig4b": true}
+
+// init registers the figure runner with the batch subsystem: a figure job
+// executes the raw generator. (batch cannot import this package — figure
+// generation itself is routed through batch's pool below.)
+func init() {
+	batch.RegisterRunner(batch.KindFigure, func(j batch.Job) (batch.Payload, error) {
+		t, err := rawGenerate(j.Figure)
+		if err != nil {
+			return batch.Payload{}, err
+		}
+		return batch.Payload{Table: &t}, nil
+	})
+}
+
+// rawGenerate runs the generator for id directly, bypassing the pool.
+func rawGenerate(id string) (Table, error) {
 	e, ok := registry[id]
 	if !ok {
 		return Table{}, fmt.Errorf("figures: unknown figure %q (known: %v)", id, IDs())
 	}
 	return e.gen(), nil
+}
+
+// Jobs returns batch jobs for the given figure ids (every figure when none
+// are given), with machine-measuring figures marked NoCache.
+func Jobs(ids ...string) []batch.Job {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	jobs := make([]batch.Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = batch.FigureJob(id)
+		jobs[i].NoCache = volatileIDs[id]
+	}
+	return jobs
+}
+
+// Generate reproduces one figure by id. The run is submitted as a batch job
+// (uncached — figure benchmarks rely on regeneration doing real work), so
+// single-figure generation and sweep campaigns share one execution path.
+func Generate(id string) (Table, error) {
+	res := (&batch.Pool{Workers: 1}).Run(Jobs(id))
+	if err := res[0].Err; err != nil {
+		return Table{}, err
+	}
+	return *res[0].Payload.Table, nil
+}
+
+// GenerateAll reproduces every figure, fanning the independent generators
+// out across the batch worker pool (parallel <= 0 means GOMAXPROCS).
+// Results come back in display order; the first failure aborts.
+func GenerateAll(parallel int) ([]Table, error) {
+	results := (&batch.Pool{Workers: parallel}).Run(Jobs())
+	tables := make([]Table, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		tables[i] = *r.Payload.Table
+	}
+	return tables, nil
 }

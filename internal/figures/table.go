@@ -3,85 +3,13 @@
 // generator runs the relevant experiment on the simulator and returns a
 // printable Table; the bench harness at the repository root exposes one
 // testing.B benchmark per figure, and cmd/hccbench renders them from the
-// command line.
+// command line. Generation is routed through the internal/batch worker pool,
+// so regenerating many figures at once (GenerateAll, cmd/hccreport) fans out
+// across CPU cores.
 package figures
 
-import (
-	"fmt"
-	"io"
-	"strings"
-)
+import "hccsim/internal/tab"
 
-// Table is one reproduced figure as rows and columns.
-type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string // paper-vs-measured remarks recorded in EXPERIMENTS.md
-}
-
-// AddRow appends a row, formatting each cell with %v.
-func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// String renders the table as aligned text.
-func (t *Table) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				sb.WriteString("  ")
-			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
-		}
-		sb.WriteByte('\n')
-	}
-	writeRow(t.Columns)
-	for _, r := range t.Rows {
-		writeRow(r)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&sb, "note: %s\n", n)
-	}
-	return sb.String()
-}
-
-// WriteCSV emits the table as CSV (no quoting needed: cells are numeric or
-// simple identifiers).
-func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, strings.Join(t.Columns, ",")); err != nil {
-		return err
-	}
-	for _, r := range t.Rows {
-		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Cell returns the table cell at (row, col) for tests.
-func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+// Table is one reproduced figure as rows and columns. It is an alias of the
+// shared leaf type so batch sweeps and figure generators interoperate.
+type Table = tab.Table

@@ -101,13 +101,34 @@ type TrainResult struct {
 	LaunchPerIter time.Duration
 }
 
+// PrecisionByName parses a precision name ("fp32", "amp", "fp16").
+func PrecisionByName(name string) (Precision, error) {
+	switch name {
+	case "fp32":
+		return FP32, nil
+	case "amp":
+		return AMP, nil
+	case "fp16":
+		return FP16, nil
+	}
+	return FP32, fmt.Errorf("nn: unknown precision %q (want fp32, amp or fp16)", name)
+}
+
 // TrainSimulate runs a pipelined training loop (data prefetch on a copy
 // stream overlapping compute, as PyTorch DataLoader + non_blocking copies
 // do) on the simulated system, measures the steady-state iteration time,
 // and projects full-training numbers.
 func TrainSimulate(cfg TrainConfig) TrainResult {
+	return TrainSimulateWith(cfg, cuda.DefaultConfig(cfg.CC))
+}
+
+// TrainSimulateWith is TrainSimulate on an explicit system configuration —
+// the entry point parameter sweeps use to vary substrate constants.
+// sys.CC overrides cfg.CC so a sweep's config is authoritative.
+func TrainSimulateWith(cfg TrainConfig, sys cuda.Config) TrainResult {
+	cfg.CC = sys.CC
 	eng := sim.NewEngine()
-	rt := cuda.New(eng, cuda.DefaultConfig(cfg.CC))
+	rt := cuda.New(eng, sys)
 
 	const warmup, measured = 2, 6
 	var iterTime time.Duration

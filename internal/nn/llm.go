@@ -111,13 +111,43 @@ type LLMResult struct {
 	TokensPerSec float64
 }
 
+// BackendByName parses a serving-backend name ("hf" or "vllm").
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "hf":
+		return HF, nil
+	case "vllm":
+		return VLLM, nil
+	}
+	return HF, fmt.Errorf("nn: unknown LLM backend %q (want hf or vllm)", name)
+}
+
+// QuantByName parses a weight-format name ("bf16" or "awq").
+func QuantByName(name string) (Quant, error) {
+	switch name {
+	case "bf16":
+		return BF16, nil
+	case "awq":
+		return AWQ, nil
+	}
+	return BF16, fmt.Errorf("nn: unknown quantization %q (want bf16 or awq)", name)
+}
+
 // LLMSimulate runs decode steps of batched generation on the simulated
 // system and returns steady-state throughput (tokens/second), the Fig. 14
 // metric. Weight loading is done once before measurement, as serving
 // frameworks amortize it away.
 func LLMSimulate(cfg LLMConfig) LLMResult {
+	return LLMSimulateWith(cfg, cuda.DefaultConfig(cfg.CC))
+}
+
+// LLMSimulateWith is LLMSimulate on an explicit system configuration — the
+// entry point parameter sweeps use to vary substrate constants. sys.CC
+// overrides cfg.CC so a sweep's config is authoritative.
+func LLMSimulateWith(cfg LLMConfig, sys cuda.Config) LLMResult {
+	cfg.CC = sys.CC
 	eng := sim.NewEngine()
-	rt := cuda.New(eng, cuda.DefaultConfig(cfg.CC))
+	rt := cuda.New(eng, sys)
 	prof := profileOf(cfg.Backend)
 
 	weightBytes := bf16WeightBytes
