@@ -1,10 +1,10 @@
-# Developer/CI entry points. `make check` is the gate: formatting, vet, and
-# the full test suite under the race detector (the batch worker pool is the
-# main concurrency surface).
+# Developer/CI entry points. `make check` is the gate: formatting, vet, the
+# project's own static analyzers (hcclint), and the full test suite under
+# the race detector (the batch worker pool is the main concurrency surface).
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check check bench report sweep-demo clean
+.PHONY: all build test race vet fmt-check lint check bench report sweep-demo clean
 
 all: check
 
@@ -26,7 +26,12 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt-check vet race
+# hcclint enforces the repo's determinism, cache-key completeness, unit-
+# suffix, and panic-policy invariants (see internal/analysis).
+lint:
+	$(GO) run ./cmd/hcclint ./...
+
+check: fmt-check vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

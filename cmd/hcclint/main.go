@@ -1,0 +1,103 @@
+// Command hcclint runs hccsim's project-specific static-analysis passes
+// (internal/analysis) over the module: nondeterminism, hashcomplete,
+// unitsuffix, and panicpolicy — the invariants behind bit-reproducible
+// figures and sound sweep caching. It exits non-zero on any diagnostic, so
+// `make check` (and CI) fail the build.
+//
+// Usage:
+//
+//	hcclint [-list] [packages]
+//
+// With no arguments it analyzes ./... from the module root (found by
+// walking up from the working directory). Diagnostics print as
+// "file:line: [analyzer] message". Suppress one with an explained
+// directive on, or directly above, the offending line:
+//
+//	//hcclint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hccsim/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hcclint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	// The stdlib source importer resolves module imports relative to the
+	// working directory; anchor it.
+	if err := os.Chdir(root); err != nil {
+		return err
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.Load(root, patterns...)
+	if err != nil {
+		return err
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "hcclint: %s does not type-check: %v\n", pkg.Path, terr)
+			broken = true
+			break // one per package is enough to fail the run
+		}
+	}
+	if broken {
+		os.Exit(1)
+	}
+	diags := analysis.Run(pkgs, analysis.All)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hcclint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

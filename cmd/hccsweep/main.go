@@ -27,29 +27,18 @@ import (
 	"hccsim/internal/workloads"
 )
 
-// paramFlag collects repeatable -param Name=v1,v2,... grid axes.
+// paramFlag collects repeatable -param Name=v1,v2,... grid-axis specs.
+// Parsing and duplicate detection live in batch.ParseAxes, called after
+// flag.Parse so that "-param PCIeGBps=8 -param PCIe.EffectiveGBps=16" is
+// caught as the collision it is.
 type paramFlag struct {
-	names  []string
-	values [][]float64
+	specs []string
 }
 
-func (p *paramFlag) String() string { return strings.Join(p.names, ",") }
+func (p *paramFlag) String() string { return strings.Join(p.specs, " ") }
 
 func (p *paramFlag) Set(s string) error {
-	name, list, ok := strings.Cut(s, "=")
-	if !ok || name == "" || list == "" {
-		return fmt.Errorf("want Name=v1,v2,... , got %q", s)
-	}
-	var vals []float64
-	for _, f := range strings.Split(list, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil {
-			return fmt.Errorf("parameter %s: %v", name, err)
-		}
-		vals = append(vals, v)
-	}
-	p.names = append(p.names, name)
-	p.values = append(p.values, vals)
+	p.specs = append(p.specs, s)
 	return nil
 }
 
@@ -77,7 +66,11 @@ func main() {
 		return
 	}
 
-	jobs, err := buildJobs(*apps, *cnns, *llms, *uvm, *modes, params)
+	axes, err := batch.ParseAxes(params.specs)
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := buildJobs(*apps, *cnns, *llms, *uvm, *modes, axes)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,7 +123,7 @@ func main() {
 }
 
 // buildJobs expands the app/mode/parameter axes into the job grid.
-func buildJobs(apps, cnns, llms string, uvm bool, modes string, params paramFlag) ([]batch.Job, error) {
+func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axis) ([]batch.Job, error) {
 	ccModes, err := parseModes(modes)
 	if err != nil {
 		return nil, err
@@ -173,8 +166,8 @@ func buildJobs(apps, cnns, llms string, uvm bool, modes string, params paramFlag
 			jobs = append(jobs, batch.LLMJob(backend, quant, b, cc))
 		}
 	}
-	for i, name := range params.names {
-		jobs = batch.Grid(jobs, name, params.values[i])
+	for _, ax := range axes {
+		jobs = batch.Grid(jobs, ax.Param, ax.Values)
 	}
 	return jobs, nil
 }

@@ -1,0 +1,245 @@
+// Package analysis is hccsim's project-specific static-analysis engine: a
+// small analyzer framework on the standard library's go/ast + go/types
+// (zero external dependencies, so it runs offline) plus the four invariant
+// checks behind `make check`:
+//
+//	nondeterminism  deterministic packages must not read the wall clock,
+//	                use the global math/rand source, or iterate maps in
+//	                unsorted order — every figure in REPORT.md must
+//	                re-derive bit-identically.
+//	hashcomplete    every field of the configuration hashed into the batch
+//	                cache key must survive json.Marshal; a dropped field is
+//	                a stale-cache hazard.
+//	unitsuffix      numeric latency/bandwidth/size knobs in Params/Config
+//	                calibration types must carry a unit suffix (NS, GBps,
+//	                Bytes, Pages, ...), since Go's type system cannot catch
+//	                an ns-vs-µs mix-up on a bare int.
+//	panicpolicy     library code may only panic from Must*-named helpers or
+//	                functions whose doc comment states the panic contract;
+//	                everything else returns an error.
+//
+// A diagnostic can be suppressed with a directive on, or on the line
+// above, the offending line:
+//
+//	//hcclint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one, or one that matches
+// no diagnostic, is itself reported (as analyzer "hcclint"). cmd/hcclint is
+// the command-line driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it, and
+// a message. The driver renders it as "file:line: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant check.
+type Analyzer struct {
+	// Name tags diagnostics and is the key suppression directives use.
+	Name string
+	// Doc is a one-line description for the driver's -list output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All lists every analyzer in the order the driver runs them.
+var All = []*Analyzer{Nondeterminism, HashComplete, UnitSuffix, PanicPolicy}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Path is the package import path ("hccsim/internal/batch").
+	Path string
+	// Deterministic marks packages whose outputs must be bit-reproducible
+	// (see DeterministicPackages); nondeterminism only fires in these.
+	Deterministic bool
+	// Library marks non-main module packages; panicpolicy and unitsuffix
+	// only fire in these.
+	Library bool
+
+	out *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DeterministicPackages are the packages every REPORT.md figure re-derives
+// through: any wall-clock or iteration-order dependence here silently
+// changes published numbers. internal/swcrypto is included because its
+// calibration tables feed fig4a/fig4b; its explicitly wall-clock Measure*
+// entry points are the one sanctioned boundary (see Nondeterminism).
+var DeterministicPackages = map[string]bool{
+	"hccsim":                   true,
+	"hccsim/internal/sim":      true,
+	"hccsim/internal/core":     true,
+	"hccsim/internal/batch":    true,
+	"hccsim/internal/figures":  true,
+	"hccsim/internal/uvm":      true,
+	"hccsim/internal/swcrypto": true,
+}
+
+// Classify derives the scope flags for a package import path.
+func Classify(path string) (deterministic, library bool) {
+	library = path == "hccsim" || strings.HasPrefix(path, "hccsim/internal/")
+	return DeterministicPackages[path], library
+}
+
+// Run executes the analyzers over the packages, applies suppression
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:      a,
+				Fset:          pkg.Fset,
+				Files:         pkg.Files,
+				Pkg:           pkg.Pkg,
+				Info:          pkg.Info,
+				Path:          pkg.Path,
+				Deterministic: pkg.Deterministic,
+				Library:       pkg.Library,
+				out:           &diags,
+			})
+		}
+	}
+	diags = dedupe(diags)
+	diags = applySuppressions(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// dedupe drops exact repeats — hashcomplete anchors findings on field
+// declarations, which several marshal sites can reach.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// directive is one parsed //hcclint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const directivePrefix = "hcclint:ignore"
+
+// applySuppressions filters diagnostics covered by an ignore directive on
+// the same or the preceding line, and reports directive-hygiene problems
+// (missing reason, directive that suppresses nothing) as diagnostics of the
+// pseudo-analyzer "hcclint".
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	byLine := make(map[string][]*directive) // "file:line" -> directives
+	var all []*directive
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+					d := &directive{pos: pkg.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					all = append(all, d)
+					key := fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line)
+					byLine[key] = append(byLine[key], d)
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, line := range []int{diag.Pos.Line, diag.Pos.Line - 1} {
+			key := fmt.Sprintf("%s:%d", diag.Pos.Filename, line)
+			for _, d := range byLine[key] {
+				if d.analyzer == diag.Analyzer && d.reason != "" {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range all {
+		switch {
+		case d.reason == "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "hcclint",
+				Message: fmt.Sprintf("suppression of %q needs a reason: //hcclint:ignore %s <why this is safe>", d.analyzer, d.analyzer)})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "hcclint",
+				Message: fmt.Sprintf("unused suppression: no %q diagnostic on this or the next line", d.analyzer)})
+		}
+	}
+	return out
+}
+
+// pkgFunc reports whether the call/selector expression resolves to the
+// package-level function pkgPath.name.
+func pkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,120 @@
+package analysis
+
+// Fixture harness: each analyzer runs over a mini source tree under
+// testdata/<analyzer>/ whose files carry `// want `+"`regexp`"+`
+// expectation comments (the stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest). Every diagnostic must
+// match a want on its line, and every want must be matched.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestNondeterminismFixtures(t *testing.T) { testFixture(t, Nondeterminism, "nondeterminism") }
+func TestHashCompleteFixtures(t *testing.T)   { testFixture(t, HashComplete, "hashcomplete") }
+func TestUnitSuffixFixtures(t *testing.T)     { testFixture(t, UnitSuffix, "unitsuffix") }
+func TestPanicPolicyFixtures(t *testing.T)    { testFixture(t, PanicPolicy, "panicpolicy") }
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func testFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, filepath.Join("testdata", name))
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	wants := collectWants(t, pkg)
+	positives := 0
+	for _, d := range diags {
+		if d.Analyzer != a.Name {
+			t.Errorf("unexpected analyzer %q in diagnostic: %s", d.Analyzer, d)
+			continue
+		}
+		matched := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				positives++
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s/%s:%d: no diagnostic matching %q", name, "fixture.go", line, w.re)
+			}
+		}
+	}
+	if positives < 3 {
+		t.Errorf("fixture %s has %d positive cases, want >= 3", name, positives)
+	}
+}
+
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	l := NewLoader()
+	pkg, err := l.LoadDir(dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, pkg.TypeErrors[0])
+	}
+	// Fixtures exercise every scope regardless of their fake import path.
+	pkg.Deterministic, pkg.Library = true, true
+	return pkg
+}
+
+func collectWants(t *testing.T, pkg *Package) map[int][]*expectation {
+	t.Helper()
+	wants := make(map[int][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				pats := betweenBackticks(text)
+				if len(pats) == 0 {
+					t.Fatalf("%s: malformed want comment (need `backquoted` regexps): %s", pkg.Fset.Position(c.Pos()), text)
+				}
+				for _, pat := range pats {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					wants[line] = append(wants[line], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func betweenBackticks(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '`')
+		if i < 0 {
+			return out
+		}
+		j := strings.IndexByte(s[i+1:], '`')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		s = s[i+j+2:]
+	}
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// HashComplete guards the batch cache-key invariant: the configuration
+// hashed in internal/batch/hash.go is serialized with json.Marshal, so any
+// struct field that encoding/json drops (json:"-", unexported) or cannot
+// encode (func, chan, complex) silently stops participating in the cache
+// key — two different configurations would then collide and serve each
+// other's cached sweep results. The analyzer finds every json.Marshal call
+// inside a function or method named Key and walks the marshaled type,
+// nested structs included. Types with a custom MarshalJSON are skipped
+// statically; the reflect-based round-trip test in internal/batch covers
+// those at run time.
+var HashComplete = &Analyzer{
+	Name: "hashcomplete",
+	Doc:  "flag config fields that json.Marshal would drop from the batch cache key",
+	Run:  runHashComplete,
+}
+
+func runHashComplete(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Key" || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || !pkgFunc(p.Info, call.Fun, "encoding/json", "Marshal") {
+					return true
+				}
+				tv, ok := p.Info.Types[call.Args[0]]
+				if !ok {
+					return true
+				}
+				w := &hashWalker{pass: p, seen: make(map[types.Type]bool)}
+				w.walk(tv.Type, typeLabel(tv.Type, p))
+				return true
+			})
+		}
+	}
+}
+
+type hashWalker struct {
+	pass *Pass
+	seen map[types.Type]bool
+}
+
+func (w *hashWalker) walk(t types.Type, path string) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		w.walk(t.Elem(), path)
+	case *types.Slice:
+		w.walk(t.Elem(), path+"[]")
+	case *types.Array:
+		w.walk(t.Elem(), path+"[]")
+	case *types.Map:
+		w.walk(t.Elem(), path+"[]")
+	case *types.Named, *types.Alias:
+		if w.seen[t] {
+			return
+		}
+		w.seen[t] = true
+		if hasCustomMarshaler(t) {
+			return // encoding is opaque; the runtime round-trip guard owns it
+		}
+		w.walk(t.Underlying(), path)
+	case *types.Struct:
+		w.walkStruct(t, path)
+	}
+}
+
+func (w *hashWalker) walkStruct(st *types.Struct, path string) {
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		fpath := path + "." + field.Name()
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag := tag.Get("json")
+		if jsonTag == "-" {
+			w.pass.Reportf(field.Pos(), "%s is tagged json:\"-\": it never reaches the cache key, so changing it serves stale cached results", fpath)
+			continue
+		}
+		if !field.Exported() && !field.Embedded() {
+			w.pass.Reportf(field.Pos(), "%s is unexported: json.Marshal drops it, so it never invalidates the cache key", fpath)
+			continue
+		}
+		if bad := unencodable(field.Type()); bad != "" {
+			w.pass.Reportf(field.Pos(), "%s has %s type %s, which encoding/json cannot encode — degenerate under the cache key", fpath, bad, field.Type())
+			continue
+		}
+		w.walk(field.Type(), fpath)
+	}
+}
+
+// unencodable names the kind when encoding/json cannot represent the type.
+func unencodable(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		return "func"
+	case *types.Chan:
+		return "chan"
+	case *types.Basic:
+		if u.Info()&types.IsComplex != 0 {
+			return "complex"
+		}
+		if u.Kind() == types.UnsafePointer {
+			return "unsafe.Pointer"
+		}
+	}
+	return ""
+}
+
+// hasCustomMarshaler reports whether t (or *t) defines MarshalJSON.
+func hasCustomMarshaler(t types.Type) bool {
+	for _, recv := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, "MarshalJSON")
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// typeLabel renders a short root label for field paths: the type name for
+// named types, "struct" for literals.
+func typeLabel(t types.Type, p *Pass) string {
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	s := types.TypeString(t, types.RelativeTo(p.Pkg))
+	if strings.HasPrefix(s, "struct{") {
+		return "struct"
+	}
+	return s
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check problems. Analyzers still run (the
+	// Info is filled best-effort), but the driver surfaces these first: a
+	// package that does not type-check cannot be trusted to lint clean.
+	TypeErrors []error
+	// Deterministic/Library scope the analyzers; Load fills them from
+	// Classify, tests may override.
+	Deterministic bool
+	Library       bool
+}
+
+// Loader parses and type-checks module packages with a shared FileSet and a
+// shared source importer, so cross-package positions (e.g. a config field
+// flagged while analyzing the package that hashes it) resolve correctly and
+// each dependency is type-checked once.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// resolves both standard-library and module-internal imports offline.
+// Module imports resolve relative to the process working directory, so run
+// from inside the module (cmd/hcclint chdirs to the module root).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadDir parses the non-test Go files of one directory and type-checks
+// them as the package importPath.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	pkg := &Package{Path: importPath, Dir: abs, Fset: l.Fset, Files: files}
+	pkg.Deterministic, pkg.Library = Classify(importPath)
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Pkg, _ = conf.Check(importPath, l.Fset, files, pkg.Info)
+	return pkg, nil
+}
+
+// Load resolves package patterns relative to the module root: "./..."
+// walks every package directory (skipping testdata, hidden directories and
+// nested modules), anything else is taken as one directory. The module
+// path is read from go.mod.
+func (l *Loader) Load(modRoot string, patterns ...string) ([]*Package, error) {
+	root, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirSet := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !dirSet[d] {
+			dirSet[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			if err := walkPackageDirs(root, add); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if hasGoFiles(d) {
+			add(d)
+		} else {
+			return nil, fmt.Errorf("analysis: no Go package in %s", pat)
+		}
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(d, ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkPackageDirs visits every directory under root holding non-test Go
+// files, skipping testdata fixtures, hidden directories, and vendored or
+// nested modules.
+func walkPackageDirs(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root {
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		if hasGoFiles(path) {
+			add(path)
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}

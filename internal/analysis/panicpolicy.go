@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicy enforces the library error contract: a panic is an API in
+// this codebase only when it is announced. A function may panic if its
+// name starts with Must (the conventional panicking helper) or its doc
+// comment states the panic contract (like System.Run's single-use guard:
+// "a second call panics"). Everything else must return an error — an
+// undocumented panic in library code takes down a whole sweep worker pool
+// instead of failing one job.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc:  "restrict panics to Must* helpers and functions documented to panic",
+	Run:  runPanicPolicy,
+}
+
+func runPanicPolicy(p *Pass) {
+	if !p.Library {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if allowedToPanic(fn) {
+				continue
+			}
+			name := fn.Name.Name
+			if fn.Recv != nil {
+				name = recvTypeName(fn) + "." + name
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || p.Info.Uses[id] != types.Universe.Lookup("panic") {
+					return true
+				}
+				p.Reportf(call.Pos(), "panic in %s, which is neither Must*-named nor documented to panic; return an error, or state the panic contract in the doc comment", name)
+				return true
+			})
+		}
+	}
+}
+
+// allowedToPanic: Must*-named, or the doc comment mentions the panic
+// contract ("panics if ...", "a second call panics", ...).
+func allowedToPanic(fn *ast.FuncDecl) bool {
+	lower := strings.ToLower(fn.Name.Name)
+	if strings.HasPrefix(lower, "must") {
+		return true
+	}
+	return fn.Doc != nil && strings.Contains(strings.ToLower(fn.Doc.Text()), "panic")
+}
+
+func recvTypeName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return "?"
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return "?"
+		}
+	}
+}

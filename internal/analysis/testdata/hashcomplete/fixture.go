@@ -1,0 +1,77 @@
+// Package fixture exercises the hashcomplete analyzer: fields the cache
+// key would silently drop (json:"-", unexported, unencodable types) are
+// flagged when a Key function marshals the type; clean structs, custom
+// marshalers, and marshal calls outside Key functions pass.
+package fixture
+
+import "encoding/json"
+
+// Inner is reached through Spec.Inner, so its fields join the walk.
+type Inner struct {
+	Rate   float64
+	weight int // want `unexported`
+}
+
+// Spec is hashed by Holder.Key below.
+type Spec struct {
+	Name    string
+	Comment string `json:"-"`              // want `json:"-"`
+	Hook    func() `json:"hook,omitempty"` // want `func`
+	Inner   Inner
+	Nested  []Inner
+}
+
+// Holder hashes its spec into a cache key.
+type Holder struct{ S Spec }
+
+// Key is the cache-key boundary the analyzer looks for.
+func (h Holder) Key() (string, error) {
+	b, err := json.Marshal(h.S)
+	return string(b), err
+}
+
+// Clean marshals completely: every field participates in the key.
+type Clean struct {
+	A     int
+	B     string `json:"b,omitempty"`
+	C     []float64
+	D     map[string]int
+	Inner struct{ X, Y int }
+}
+
+// Key hashes a fully encodable struct — no findings.
+func (c Clean) Key() string {
+	b, _ := json.Marshal(c)
+	return string(b)
+}
+
+// Sealed has a custom MarshalJSON, so static field walking stops: the
+// runtime round-trip guard owns its completeness.
+type Sealed struct{ secret int }
+
+// MarshalJSON encodes the secret explicitly.
+func (s Sealed) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.secret)
+}
+
+// WithSealed embeds the custom-marshaled type — no findings.
+type WithSealed struct{ S Sealed }
+
+// Key hashes through the custom marshaler — no findings.
+func (w WithSealed) Key() string {
+	b, _ := json.Marshal(w)
+	return string(b)
+}
+
+// Logged is only marshaled outside a Key function; its dropped field is
+// not a cache hazard and is not flagged.
+type Logged struct {
+	Visible string
+	hidden  string
+}
+
+// Dump is not a Key function.
+func Dump(l Logged) []byte {
+	b, _ := json.Marshal(l)
+	return b
+}

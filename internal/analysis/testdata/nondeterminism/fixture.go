@@ -1,0 +1,87 @@
+// Package fixture exercises the nondeterminism analyzer: wall-clock reads,
+// the global rand source, and unsorted map iteration are flagged; the
+// collect-and-sort idiom, seeded generators, and Measure* boundaries pass.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Roll draws from the global math/rand source.
+func Roll() int {
+	return rand.Intn(6) // want `global random source`
+}
+
+// First leaks map iteration order into its result.
+func First(m map[string]int) string {
+	for k := range m { // want `iteration over map`
+		return k
+	}
+	return ""
+}
+
+// KeysUnsorted collects keys but never sorts them.
+func KeysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Keys is the sanctioned idiom: collect, then sort before use.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BigKeys collects behind a filter and sorts with sort.Slice.
+func BigKeys(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		if v > 10 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Seeded uses an explicitly seeded generator — deterministic by construction.
+func Seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}
+
+// MeasureSpin is an explicit wall-clock boundary: Measure*-named functions
+// may time the real machine.
+func MeasureSpin(budget time.Duration) int {
+	n := 0
+	start := time.Now()
+	for time.Since(start) < budget {
+		n++
+	}
+	return n
+}
+
+// Sanctioned documents why its wall-clock read is safe.
+func Sanctioned() time.Time {
+	//hcclint:ignore nondeterminism fixture demonstrates an explained suppression
+	return time.Now()
+}

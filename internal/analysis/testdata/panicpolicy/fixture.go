@@ -1,0 +1,54 @@
+// Package fixture exercises the panicpolicy analyzer: undocumented panics
+// in library code are flagged; Must* helpers and functions whose doc
+// states the panic contract pass.
+package fixture
+
+import "strconv"
+
+// Parse converts s to an int with strict input validation.
+func Parse(s string) (int, error) {
+	if s == "" {
+		panic("empty input") // want `panic in Parse`
+	}
+	return strconv.Atoi(s)
+}
+
+// Widget is a stateful fixture type.
+type Widget struct {
+	n      int
+	frozen bool
+}
+
+// Grow enlarges the widget by the given amount.
+func (w *Widget) Grow(by int) {
+	if by < 0 {
+		panic("negative growth") // want `panic in Widget\.Grow`
+	}
+	w.n += by
+}
+
+// Later builds a callback to run at teardown time.
+func Later() func() {
+	return func() {
+		panic("deferred surprise") // want `panic in Later`
+	}
+}
+
+// MustParse converts s and panics on malformed input — the conventional
+// panicking helper.
+func MustParse(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Reset clears the widget. Reset panics if the widget is frozen, because a
+// frozen widget can only be discarded.
+func (w *Widget) Reset() {
+	if w.frozen {
+		panic("reset of frozen widget")
+	}
+	w.n = 0
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the unitsuffix analyzer: bare-numeric
+// latency/bandwidth/size knobs in calibration types (and package-level
+// constants) must carry a unit suffix; typed durations, suffixed names,
+// and dimensionless counts pass.
+package fixture
+
+import "time"
+
+// LinkParams is a calibration struct the analyzer inspects.
+type LinkParams struct {
+	CopyLatency   int     // want `no unit suffix`
+	LinkBandwidth float64 // want `no unit suffix`
+	BufSize       int64   // want `no unit suffix`
+
+	CopyLatencyNS int           // suffixed: fine
+	LinkGBps      float64       // suffixed: fine
+	ChunkBytes    int64         // suffixed: fine
+	BatchPages    int           // suffixed: fine
+	Warmup        time.Duration // the type is the unit: fine
+	Workers       int           // dimensionless count: fine
+	FenceInterval int           // dimensionless count: fine
+	internalSize  int           // unexported: not part of the calibration surface
+}
+
+// MaxPayloadSize is a bare size constant.
+const MaxPayloadSize = 1 << 20 // want `no unit suffix`
+
+// MaxPayloadBytes carries its unit.
+const MaxPayloadBytes = 1 << 20
+
+// DefaultTimeoutMS carries its unit even as a quantity word.
+const DefaultTimeoutMS = 250
+
+// Tally is not a Params/Config/Calib type, so its fields are out of scope.
+type Tally struct {
+	TotalSize int
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSuffix enforces the unit-suffix convention on calibration knobs: a
+// numeric struct field or package-level constant whose name says it is a
+// latency, bandwidth, or size must also say its unit (LaunchLatencyNS, not
+// LaunchLatency), because a bare int carries no defense against an
+// ns-vs-µs or MB-vs-MiB mix-up. Scope: exported fields of struct types
+// whose name contains Params/Config/Calib (the calibration surface swept
+// by cmd/hccsweep and hashed into cache keys) plus package-level numeric
+// constants. Fields of named types such as time.Duration or sim.Time are
+// exempt — the type itself is the unit.
+var UnitSuffix = &Analyzer{
+	Name: "unitsuffix",
+	Doc:  "require unit suffixes (NS, GBps, Bytes, Pages, ...) on latency/bandwidth/size knobs",
+	Run:  runUnitSuffix,
+}
+
+// quantityWords mark a name as denoting a physical quantity that needs a
+// unit. Deliberately not included: Interval/Count/Slots-style names, which
+// are dimensionless counts in this codebase (e.g. Params.FenceInterval is
+// "every N launches").
+var quantityWords = []string{
+	"Latency", "Delay", "Timeout", "Period", "Time",
+	"Bandwidth", "Throughput", "Rate", "Freq", "Speed",
+	"Size", "Capacity", "Length",
+}
+
+// unitSuffixes are the accepted name endings. Longest-match is irrelevant —
+// any one ending clears the name.
+var unitSuffixes = []string{
+	"NS", "US", "MS", "Sec", "Secs", "Seconds", "Minutes",
+	"Bps", "KBps", "MBps", "GBps", "TBps",
+	"FLOPs", "GFLOPs", "TFLOPs",
+	"Bytes", "KB", "MB", "GB", "TB", "KiB", "MiB", "GiB",
+	"Pages", "Hz", "KHz", "MHz", "GHz",
+	"Pct", "Percent", "Ratio", "Frac",
+}
+
+func runUnitSuffix(p *Pass) {
+	if !p.Library {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !isCalibrationTypeName(ts.Name.Name) {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					checkCalibrationStruct(p, ts.Name.Name, st)
+				}
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						checkConst(p, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isCalibrationTypeName(name string) bool {
+	return strings.Contains(name, "Params") || strings.Contains(name, "Config") || strings.Contains(name, "Calib")
+}
+
+func checkCalibrationStruct(p *Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || !isBareNumeric(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if word := missingUnit(name.Name); word != "" {
+				p.Reportf(name.Pos(), "%s.%s looks like a %s but its name carries no unit suffix (%s); a bare %s invites unit mix-ups",
+					typeName, name.Name, strings.ToLower(word), suffixHint, tv.Type)
+			}
+		}
+	}
+}
+
+func checkConst(p *Pass, name *ast.Ident) {
+	obj, ok := p.Info.Defs[name].(*types.Const)
+	if !ok || !isBareNumeric(obj.Type()) {
+		return
+	}
+	if word := missingUnit(name.Name); word != "" {
+		p.Reportf(name.Pos(), "constant %s looks like a %s but its name carries no unit suffix (%s)",
+			name.Name, strings.ToLower(word), suffixHint)
+	}
+}
+
+const suffixHint = "NS, US, MS, GBps, MBps, Bytes, KB, MB, GB, Pages, ..."
+
+// isBareNumeric reports whether t is an unnamed numeric basic type
+// (including untyped constants). Named types — time.Duration, sim.Time —
+// carry their unit in the type and are exempt.
+func isBareNumeric(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0 && b.Info()&types.IsComplex == 0
+}
+
+// missingUnit returns the quantity word that demands a unit suffix, or ""
+// when the name is fine.
+func missingUnit(name string) string {
+	quantity := ""
+	for _, w := range quantityWords {
+		if containsWord(name, w) {
+			quantity = w
+			break
+		}
+	}
+	if quantity == "" {
+		return ""
+	}
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return ""
+		}
+	}
+	return quantity
+}
+
+// containsWord finds w in a CamelCase name at a word boundary: the match
+// must not be followed by a lowercase letter (so "Timeout" does not count
+// as "Time", but "TimeNS" and trailing "Time" do; "Timeout" matches its
+// own entry instead).
+func containsWord(name, w string) bool {
+	for start := 0; ; {
+		i := strings.Index(name[start:], w)
+		if i < 0 {
+			return false
+		}
+		end := start + i + len(w)
+		if end >= len(name) || name[end] < 'a' || name[end] > 'z' {
+			return true
+		}
+		start = start + i + 1
+	}
+}

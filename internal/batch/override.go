@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -32,10 +33,10 @@ var aliases = map[string]string{
 
 var durationType = reflect.TypeOf(time.Duration(0))
 
-// resolve finds the (section, field) for a parameter name, trying the alias
-// table, an explicit "Section.Field" path, and a concatenated section
-// prefix, in that order.
-func resolve(cfg *cuda.Config, name string) (reflect.Value, error) {
+// resolve finds the field for a parameter name and its canonical
+// "Section.Field" path, trying the alias table, an explicit "Section.Field"
+// path, and a concatenated section prefix, in that order.
+func resolve(cfg *cuda.Config, name string) (reflect.Value, string, error) {
 	if full, ok := aliases[name]; ok {
 		name = full
 	}
@@ -57,22 +58,32 @@ func resolve(cfg *cuda.Config, name string) (reflect.Value, error) {
 				continue
 			}
 			if f := sec.FieldByName(field); f.IsValid() {
-				return f, nil
+				return f, secName + "." + field, nil
 			}
 		case strings.HasPrefix(name, secName):
-			if f := sec.FieldByName(strings.TrimPrefix(name, secName)); f.IsValid() {
-				return f, nil
+			rest := strings.TrimPrefix(name, secName)
+			if f := sec.FieldByName(rest); f.IsValid() {
+				return f, secName + "." + rest, nil
 			}
 		}
 	}
-	return reflect.Value{}, fmt.Errorf("batch: unknown config parameter %q (see OverrideNames; aliases: %v)",
+	return reflect.Value{}, "", fmt.Errorf("batch: unknown config parameter %q (see OverrideNames; aliases: %v)",
 		name, aliasList())
+}
+
+// Canonical resolves a parameter name — short alias, "Section.Field" path,
+// or concatenated "SectionField" form — to its canonical "Section.Field"
+// path over cuda.Config. Unknown names error with the alias list attached.
+func Canonical(name string) (string, error) {
+	cfg := cuda.DefaultConfig(false)
+	_, path, err := resolve(&cfg, name)
+	return path, err
 }
 
 // ApplyOverride sets the named parameter on cfg. Duration-valued parameters
 // interpret value as nanoseconds; bool parameters treat nonzero as true.
 func ApplyOverride(cfg *cuda.Config, name string, value float64) error {
-	f, err := resolve(cfg, name)
+	f, _, err := resolve(cfg, name)
 	if err != nil {
 		return err
 	}
@@ -118,6 +129,66 @@ func OverrideNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Axis is one sweep dimension: a canonical "Section.Field" parameter path
+// and the grid values it takes. Expand a job list over an axis with Grid.
+type Axis struct {
+	Param  string
+	Values []float64
+}
+
+// ParseAxis parses one "Name=v1,v2,..." grid-axis spec. The name may be a
+// short alias, a "Section.Field" path, or the concatenated form; it is
+// resolved eagerly, so a typo fails here rather than mid-sweep, and the
+// returned Axis carries the canonical path.
+func ParseAxis(s string) (Axis, error) {
+	name, list, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" || strings.TrimSpace(list) == "" {
+		return Axis{}, fmt.Errorf("batch: malformed axis %q: want Name=v1,v2,...", s)
+	}
+	param, err := Canonical(name)
+	if err != nil {
+		return Axis{}, err
+	}
+	var vals []float64
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return Axis{}, fmt.Errorf("batch: axis %s: bad value %q", name, strings.TrimSpace(f))
+		}
+		vals = append(vals, v)
+	}
+	return Axis{Param: param, Values: vals}, nil
+}
+
+// ParseAxes parses a list of axis specs and rejects duplicate axes — two
+// specs naming the same parameter, even through different spellings
+// ("PCIeGBps" and "PCIe.EffectiveGBps" collide after canonicalization). A
+// duplicated axis would silently multiply the grid and let the later value
+// win on every cell.
+func ParseAxes(specs []string) ([]Axis, error) {
+	axes := make([]Axis, 0, len(specs))
+	firstSpelling := make(map[string]string)
+	for _, s := range specs {
+		ax, err := ParseAxis(s)
+		if err != nil {
+			return nil, err
+		}
+		name, _, _ := strings.Cut(s, "=")
+		name = strings.TrimSpace(name)
+		if prev, dup := firstSpelling[ax.Param]; dup {
+			if prev == name {
+				return nil, fmt.Errorf("batch: duplicate sweep axis %q", name)
+			}
+			return nil, fmt.Errorf("batch: duplicate sweep axis %q (%q already names parameter %s)",
+				name, prev, ax.Param)
+		}
+		firstSpelling[ax.Param] = name
+		axes = append(axes, ax)
+	}
+	return axes, nil
 }
 
 func aliasList() []string {

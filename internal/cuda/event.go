@@ -39,7 +39,7 @@ func (e *Event) Record(s *Stream) {
 }
 
 // Synchronize blocks the host until the event has fired
-// (cudaEventSynchronize).
+// (cudaEventSynchronize). It panics on an unrecorded event.
 func (e *Event) Synchronize() {
 	if !e.recorded {
 		panic("cuda: Synchronize on unrecorded event")
@@ -66,7 +66,9 @@ func Elapsed(start, end *Event) time.Duration {
 }
 
 // Memset is cudaMemset on a device buffer: an on-device fill at HBM write
-// bandwidth, unaffected by CC (the data never leaves the package).
+// bandwidth, unaffected by CC (the data never leaves the package). Like
+// the CUDA call it models, it panics (sticky error) on a non-device
+// buffer or an out-of-bounds fill.
 func (c *Context) Memset(b *Buffer, bytes int64) {
 	b.checkLive("Memset")
 	if b.kind != DeviceMem {
@@ -87,7 +89,7 @@ func (c *Context) Memset(b *Buffer, bytes int64) {
 // WaitEvent makes subsequent work on the stream wait until the event fires
 // (cudaStreamWaitEvent): the cross-stream dependency primitive behind
 // producer/consumer pipelines. The wait executes on the device timeline,
-// not the host.
+// not the host. It panics on an unrecorded event.
 func (s *Stream) WaitEvent(e *Event) {
 	if !e.recorded {
 		panic("cuda: WaitEvent on unrecorded event")

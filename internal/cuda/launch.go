@@ -91,6 +91,7 @@ type Graph struct {
 
 // GraphCreate captures and instantiates a graph from the kernel sequence,
 // charging the capture cost — the trade-off against saved launch overhead.
+// It panics on an empty kernel sequence.
 func (c *Context) GraphCreate(specs []gpu.KernelSpec) *Graph {
 	if len(specs) == 0 {
 		panic("cuda: empty graph")

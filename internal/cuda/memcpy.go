@@ -18,6 +18,8 @@ type copyClass struct {
 	d2d    bool
 }
 
+// classify maps a (dst, src) buffer pair to its transfer class. It panics
+// on a host-to-host pair, which is not a CUDA transfer.
 func classify(dst, src *Buffer) copyClass {
 	dstDev := dst.kind == DeviceMem
 	srcDev := src.kind == DeviceMem
@@ -34,6 +36,9 @@ func classify(dst, src *Buffer) copyClass {
 	}
 }
 
+// checkCopy validates a Memcpy request, panicking — as the modelled CUDA
+// calls would fail with sticky errors — on freed buffers, non-positive or
+// overflowing sizes, and explicit copies of managed memory.
 func (c *Context) checkCopy(dst, src *Buffer, bytes int64) {
 	dst.checkLive("Memcpy dst")
 	src.checkLive("Memcpy src")

@@ -54,6 +54,8 @@ func (b *Buffer) Kind() MemKind { return b.kind }
 // Managed returns the UVM range backing a managed buffer, or nil.
 func (b *Buffer) Managed() *uvm.Range { return b.rng }
 
+// checkLive panics if the buffer was already freed — the simulator's
+// equivalent of a use-after-free CUDA error.
 func (b *Buffer) checkLive(op string) {
 	if b.freed {
 		panic(fmt.Sprintf("cuda: %s on freed buffer %q", op, b.label))
@@ -96,7 +98,8 @@ func (c *Context) ensureInit() {
 
 // Malloc is cudaMalloc: device-memory allocation. Under CC the driver
 // ioctls are hypercall-mediated and page-table updates travel the encrypted
-// channel, which is what makes it ~5.7x slower (Fig. 6).
+// channel, which is what makes it ~5.7x slower (Fig. 6). It panics when
+// device memory is exhausted (the modelled cudaMalloc's fatal error).
 func (c *Context) Malloc(label string, size int64) *Buffer {
 	c.ensureInit()
 	start := int64(c.p.Now())
@@ -165,6 +168,7 @@ func (c *Context) MallocManaged(label string, size int64) *Buffer {
 // Free releases a device or managed buffer (cudaFree). CC frees pay page
 // scrubbing, SEPT removal and TLB shootdowns — the largest management
 // multiplier the paper measures (10.5x; 18.2x for resident UVM memory).
+// It panics on double frees and on host buffers (use FreeHost).
 func (c *Context) Free(b *Buffer) {
 	b.checkLive("Free")
 	start := int64(c.p.Now())
@@ -187,7 +191,7 @@ func (c *Context) Free(b *Buffer) {
 			panic("cuda: " + err.Error())
 		}
 	case ManagedMem:
-		resBytes := b.rng.ResidentPages() * rt.dev.UVM().Params().PageSize
+		resBytes := b.rng.ResidentPages() * rt.dev.UVM().Params().PageBytes
 		if rt.CC() {
 			c.p.Sleep(perMB(rt.params.ManagedFreePerResMBCC, resBytes))
 			c.p.Sleep(perMB(rt.params.FreePerMBCC, b.size) / 4)
@@ -203,7 +207,8 @@ func (c *Context) Free(b *Buffer) {
 	c.record(trace.KindFree, "cudaFree", start, b.size, b.kind == ManagedMem)
 }
 
-// FreeHost releases pinned host memory (cudaFreeHost).
+// FreeHost releases pinned host memory (cudaFreeHost). It panics on
+// double frees and on device or managed buffers (use Free).
 func (c *Context) FreeHost(b *Buffer) {
 	b.checkLive("FreeHost")
 	if b.kind == PageableHost {
@@ -230,6 +235,7 @@ func (c *Context) FreeHost(b *Buffer) {
 // the first n bytes of a managed buffer to the device in driver-initiated
 // full batches, sidestepping the per-fault round trips that make encrypted
 // paging so expensive. The time is charged to the calling host process.
+// It panics on freed or non-managed buffers.
 func (c *Context) Prefetch(b *Buffer, n int64) {
 	b.checkLive("Prefetch")
 	if b.kind != ManagedMem {
@@ -241,7 +247,8 @@ func (c *Context) Prefetch(b *Buffer, n int64) {
 
 // HostTouch models CPU-side access to a managed buffer's first n bytes:
 // device-resident pages migrate back (encrypted paging under CC). This is
-// how UVM applications read results without an explicit D2H copy.
+// how UVM applications read results without an explicit D2H copy. It
+// panics on freed or non-managed buffers.
 func (c *Context) HostTouch(b *Buffer, n int64) {
 	b.checkLive("HostTouch")
 	if b.kind != ManagedMem {

@@ -73,7 +73,9 @@ func (rt *Runtime) deviceByID(id int) (*gpu.Device, *pcie.Link, error) {
 // Devices returns the number of GPUs attached.
 func (rt *Runtime) Devices() int { return 1 + len(rt.secondary) }
 
-// MallocOn allocates device memory on a specific GPU.
+// MallocOn allocates device memory on a specific GPU. It panics on an
+// unknown device ID or when that GPU's memory is exhausted, mirroring
+// Malloc's fatal-error contract.
 func (c *Context) MallocOn(devID int, label string, size int64) *Buffer {
 	c.ensureInit()
 	rt := c.rt
@@ -107,7 +109,9 @@ func (b *Buffer) DeviceID() int { return b.devID }
 // bridge is inside the attested TCB). Without NVLink it is routed through
 // host memory: D2H on the source link, then H2D on the destination link —
 // and under CC each leg pays the full bounce-buffer + software-crypto tax,
-// so the data is decrypted and re-encrypted on the CPU.
+// so the data is decrypted and re-encrypted on the CPU. It panics — as the
+// modelled call's sticky errors — on non-device or freed buffers, same-
+// device pairs, overflowing sizes, and unknown device IDs.
 func (c *Context) MemcpyPeer(dst, src *Buffer, bytes int64) {
 	dst.checkLive("MemcpyPeer dst")
 	src.checkLive("MemcpyPeer src")

@@ -65,10 +65,7 @@ func ExtTEEIO() Table {
 
 	// End-to-end time of two representative apps.
 	for _, name := range []string{"3dconv", "srad"} {
-		spec, err := workloads.ByName(name)
-		if err != nil {
-			panic(err)
-		}
+		spec := mustWorkload(name)
 		row := []interface{}{name + " end-to-end (ms)"}
 		for _, cfg := range []cuda.Config{cuda.DefaultConfig(false), cuda.DefaultConfig(true), snpConfig(), teeioConfig()} {
 			res := workloads.Execute(spec, workloads.CopyExecute, cfg)
@@ -77,7 +74,7 @@ func ExtTEEIO() Table {
 		t.AddRow(row...)
 	}
 	// A UVM app, where TEE-IO restores fault batching too.
-	spec, _ := workloads.ByName("2dconv")
+	spec := mustWorkload("2dconv")
 	row := []interface{}{"2dconv UVM end-to-end (ms)"}
 	for _, cfg := range []cuda.Config{cuda.DefaultConfig(false), cuda.DefaultConfig(true), snpConfig(), teeioConfig()} {
 		res := workloads.Execute(spec, workloads.UVM, cfg)
@@ -126,7 +123,7 @@ func ExtCryptoWorkers() Table {
 		eng.Run()
 		gbps := float64(1<<30) / dur.Seconds() / 1e9
 
-		spec, _ := workloads.ByName("3dconv")
+		spec := mustWorkload("3dconv")
 		res := workloads.Execute(spec, workloads.CopyExecute, cfg)
 		if workers == 1 {
 			firstBW = gbps

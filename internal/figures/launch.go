@@ -139,10 +139,7 @@ func Fig10Timelines() Table {
 			"mean-klo-us", "mean-ket-us", "klr", "regime"},
 	}
 	for _, name := range Fig10Apps {
-		spec, err := workloads.ByName(name)
-		if err != nil {
-			panic(err)
-		}
+		spec := mustWorkload(name)
 		for _, cc := range []bool{false, true} {
 			res := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(cc))
 			m := core.Decompose(res.Runtime.Tracer())

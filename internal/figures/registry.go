@@ -5,7 +5,19 @@ import (
 	"sort"
 
 	"hccsim/internal/batch"
+	"hccsim/internal/workloads"
 )
+
+// mustWorkload resolves a workload spec by name, panicking on unknown
+// names. Figure generators reference apps by static string literals, so a
+// lookup failure is a programming error, not an input error.
+func mustWorkload(name string) workloads.Spec {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
 
 // Generator produces one reproduced figure.
 type Generator func() Table

@@ -124,6 +124,8 @@ type Device struct {
 }
 
 // New creates a device on the given substrates. The tracer may be nil.
+// It panics on non-positive SM or chunk-size params, which have no
+// physical meaning.
 func New(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, mem *hbm.Allocator,
 	uvmMgr *uvm.Manager, tracer *trace.Tracer, params Params) *Device {
 	if params.SMs <= 0 || params.ChunkBytes <= 0 {

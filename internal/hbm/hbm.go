@@ -42,7 +42,8 @@ type Allocator struct {
 	peak   int64
 }
 
-// NewAllocator returns an empty allocator over the whole capacity.
+// NewAllocator returns an empty allocator over the whole capacity. It
+// panics on non-positive capacity or alignment params.
 func NewAllocator(params Params) *Allocator {
 	if params.AlignBytes <= 0 || params.CapacityBytes <= 0 {
 		panic("hbm: invalid params")

@@ -96,6 +96,8 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 	e.scheduleAt(e.now.Add(d), fn)
 }
 
+// scheduleAt enqueues fn at an absolute time. Scheduling before now
+// panics — the same causality rule Schedule documents.
 func (e *Engine) scheduleAt(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))

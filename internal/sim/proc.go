@@ -74,7 +74,9 @@ func (p *Proc) yield() {
 }
 
 // wake schedules an immediate event that resumes p. All resumptions flow
-// through the event queue so that ordering stays deterministic.
+// through the event queue so that ordering stays deterministic. Waking a
+// finished process panics: its goroutine is gone, so the resume could
+// never be delivered.
 func (p *Proc) wake() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: wake of finished process %q", p.name))

@@ -15,7 +15,8 @@ type Resource struct {
 	lastChange Time
 }
 
-// NewResource returns a resource with the given capacity (>= 1).
+// NewResource returns a resource with the given capacity (>= 1); smaller
+// capacities panic.
 func NewResource(e *Engine, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
@@ -63,6 +64,8 @@ func (r *Resource) Acquire(p *Proc) {
 
 // Release frees one unit. If processes are waiting, ownership passes to the
 // first waiter without the count dipping, preserving FIFO fairness.
+// Releasing an idle resource panics, since it means an unmatched
+// Acquire/Release pair.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource")

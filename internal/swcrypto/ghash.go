@@ -68,7 +68,8 @@ func gfMul(x, y fieldElement) fieldElement {
 // GHASH computes the GHASH function of NIST SP 800-38D over the
 // concatenation of aad and data, each zero-padded to a 16-byte boundary,
 // followed by the standard 128-bit length block. h is the 16-byte hash
-// subkey (AES_K(0^128) in GCM). The returned tag is 16 bytes.
+// subkey (AES_K(0^128) in GCM); any other subkey length panics. The
+// returned tag is 16 bytes.
 //
 // This is the authentication-only primitive whose throughput the paper
 // reports at up to 8.9 GB/s — much faster than full AES-GCM, at the cost of

@@ -32,12 +32,27 @@ var AllAlgorithms = []Algorithm{
 	ChaCha20Poly1305, SHA256Alg,
 }
 
+// Clock is the time source behind Measure, injectable so the measurement
+// loop itself is testable with a deterministic fake. Production callers
+// use Measure, which supplies the real wall clock.
+type Clock func() time.Time
+
 // Measure runs the algorithm over bufSize-byte buffers on the local machine
 // for roughly the given wall-clock budget and returns the achieved
 // single-goroutine throughput in GB/s. This is a real measurement (the Go
 // runtime uses AES-NI/CLMUL where available) and backs the "measured"
 // column of the Fig. 4b reproduction.
+//
+// Measure* is the project's one sanctioned wall-clock boundary: the
+// nondeterminism analyzer (internal/analysis) forbids time.Now elsewhere in
+// deterministic packages, figures built on Measure are marked NoCache, and
+// everything downstream (SoftCrypto, the calibration tables) is pure.
 func Measure(alg Algorithm, bufSize int, budget time.Duration) (float64, error) {
+	return MeasureWithClock(alg, bufSize, budget, time.Now)
+}
+
+// MeasureWithClock is Measure with an explicit time source.
+func MeasureWithClock(alg Algorithm, bufSize int, budget time.Duration, now Clock) (float64, error) {
 	if bufSize < 16 {
 		return 0, fmt.Errorf("swcrypto: buffer must be >= 16 bytes")
 	}
@@ -48,14 +63,14 @@ func Measure(alg Algorithm, bufSize int, budget time.Duration) (float64, error) 
 	// Warm up once, then time batches until the budget is spent.
 	step()
 	var processed int64
-	start := time.Now()
-	for time.Since(start) < budget {
+	start := now()
+	for now().Sub(start) < budget {
 		for i := 0; i < 8; i++ {
 			step()
 			processed += int64(bufSize)
 		}
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := now().Sub(start).Seconds()
 	if elapsed <= 0 {
 		return 0, fmt.Errorf("swcrypto: zero elapsed time")
 	}

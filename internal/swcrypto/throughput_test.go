@@ -1,0 +1,60 @@
+package swcrypto
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, making the measurement loop
+// fully deterministic: the iteration count and the reported elapsed time
+// depend only on the step and budget, never on the host.
+func fakeClock(step time.Duration) Clock {
+	var t time.Time
+	return func() time.Time {
+		r := t
+		t = t.Add(step)
+		return r
+	}
+}
+
+func TestMeasureWithClockDeterministic(t *testing.T) {
+	const (
+		bufSize = 1024
+		step    = time.Millisecond
+		budget  = 10 * time.Millisecond
+	)
+	run := func() float64 {
+		got, err := MeasureWithClock(SHA256Alg, bufSize, budget, fakeClock(step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("measurement not deterministic under a fake clock: %v != %v", first, second)
+	}
+
+	// Readings: start at 0, then one per loop check at 1ms, 2ms, ... The
+	// loop body runs for checks 1..9 (8 buffers each) and exits at 10ms;
+	// the final elapsed reading is 11ms.
+	iterations := int64(budget/step) - 1
+	elapsed := (time.Duration(iterations+2) * step).Seconds()
+	want := float64(iterations*8*bufSize) / elapsed / 1e9
+	if first != want {
+		t.Fatalf("throughput = %v, want %v", first, want)
+	}
+}
+
+func TestMeasureRejectsTinyBuffers(t *testing.T) {
+	if _, err := Measure(SHA256Alg, 8, time.Millisecond); err == nil {
+		t.Fatal("want error for sub-16-byte buffer")
+	}
+}
+
+func TestMeasureWithClockZeroElapsed(t *testing.T) {
+	frozen := func() time.Time { return time.Time{} }
+	if _, err := MeasureWithClock(SHA256Alg, 64, 0, frozen); err == nil {
+		t.Fatal("want error when the clock never advances")
+	}
+}

@@ -28,8 +28,8 @@ import (
 	"hccsim/internal/swcrypto"
 )
 
-// PageSize is the guest page granule for shared/private conversions.
-const PageSize = 4096
+// PageBytes is the guest page granule for shared/private conversions.
+const PageBytes = 4096
 
 // Params holds the calibrated latency constants of the CPU TEE substrate.
 type Params struct {
@@ -154,6 +154,8 @@ type bounceWaiter struct {
 }
 
 // NewPlatform creates a guest platform. cc selects TD (true) or legacy VM.
+// It panics if the params name an unknown crypto algorithm or CPU model,
+// since no meaningful simulation can run without a calibrated cipher.
 func NewPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
 	workers := params.CryptoWorkers
 	if workers < 1 {
@@ -191,7 +193,7 @@ func pages(bytes int64) int64 {
 	if bytes <= 0 {
 		return 0
 	}
-	return (bytes + PageSize - 1) / PageSize
+	return (bytes + PageBytes - 1) / PageBytes
 }
 
 // Hypercall charges one tdx_hypercall round trip (TD only).
@@ -270,7 +272,8 @@ func (pl *Platform) HostMemcpy(p *sim.Proc, n int64) {
 // BounceAcquire reserves n bytes of SWIOTLB bounce space, blocking while the
 // pool is exhausted, and charges the dma_direct_alloc mapping cost. It is a
 // no-op (returning instantly) in a legacy VM, where the device DMAs guest
-// memory directly.
+// memory directly. A single request larger than the whole pool panics —
+// it could never be satisfied and would deadlock the waiter.
 func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
 	if !pl.cc || pl.params.TEEIO || n <= 0 {
 		return
@@ -289,7 +292,7 @@ func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
 }
 
 // BounceRelease returns n bytes to the bounce pool and wakes waiters whose
-// requests now fit.
+// requests now fit. Releasing more than was acquired panics.
 func (pl *Platform) BounceRelease(n int64) {
 	if !pl.cc || pl.params.TEEIO || n <= 0 {
 		return

@@ -67,7 +67,9 @@ type Tracer struct {
 // New returns an empty tracer.
 func New() *Tracer { return &Tracer{} }
 
-// Record appends an event and returns its sequence number.
+// Record appends an event and returns its sequence number. An event that
+// ends before it starts panics: it indicates a broken model, and silently
+// storing it would corrupt every downstream decomposition.
 func (t *Tracer) Record(e Event) int {
 	t.seq++
 	if e.Seq == 0 {

@@ -25,8 +25,8 @@ import (
 
 // Params holds the calibrated constants of the paging path.
 type Params struct {
-	// PageSize is the UVM migration granule (NVIDIA uses 64 KiB basic pages).
-	PageSize int64
+	// PageBytes is the UVM migration granule (NVIDIA uses 64 KiB basic pages).
+	PageBytes int64
 	// FaultService is the GPU-fault -> CPU-driver round trip per batch.
 	FaultService time.Duration
 	// BatchPages is the pages moved per fault batch in non-CC mode, where
@@ -46,7 +46,7 @@ type Params struct {
 // DefaultParams returns constants calibrated to the paper's testbed.
 func DefaultParams() Params {
 	return Params{
-		PageSize:          64 << 10,
+		PageBytes:         64 << 10,
 		FaultService:      20 * time.Microsecond,
 		BatchPages:        48, // 3 MiB with the density prefetcher
 		BatchPagesCC:      1,  // encrypted paging defeats coalescing entirely
@@ -79,9 +79,10 @@ type Manager struct {
 	stats         Stats
 }
 
-// NewManager creates a UVM manager on the given substrates.
+// NewManager creates a UVM manager on the given substrates. It panics on
+// non-positive page or batch-size params.
 func NewManager(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, params Params) *Manager {
-	if params.PageSize <= 0 || params.BatchPages <= 0 || params.BatchPagesCC <= 0 {
+	if params.PageBytes <= 0 || params.BatchPages <= 0 || params.BatchPagesCC <= 0 {
 		panic("uvm: invalid params")
 	}
 	return &Manager{eng: eng, pl: pl, link: link, params: params}
@@ -113,12 +114,13 @@ type Range struct {
 	released  bool
 }
 
-// NewRange registers a managed allocation of the given size.
+// NewRange registers a managed allocation of the given size; non-positive
+// sizes panic.
 func (m *Manager) NewRange(size int64) *Range {
 	if size <= 0 {
 		panic("uvm: managed range size must be positive")
 	}
-	pages := (size + m.params.PageSize - 1) / m.params.PageSize
+	pages := (size + m.params.PageBytes - 1) / m.params.PageBytes
 	r := &Range{mgr: m, size: size, resident: make([]bool, pages)}
 	m.ranges = append(m.ranges, r)
 	return r
@@ -134,13 +136,13 @@ func (r *Range) ResidentPages() int64 { return r.onGPU }
 func (r *Range) Pages() int64 { return int64(len(r.resident)) }
 
 // Release drops the range: resident pages are discarded (the caller models
-// any free-time cost; see cuda.Free).
+// any free-time cost; see cuda.Free). A double release panics.
 func (r *Range) Release() {
 	if r.released {
 		panic("uvm: double release")
 	}
 	r.released = true
-	r.mgr.residentBytes -= r.onGPU * r.mgr.params.PageSize
+	r.mgr.residentBytes -= r.onGPU * r.mgr.params.PageBytes
 	r.onGPU = 0
 	for i := range r.resident {
 		r.resident[i] = false
@@ -173,7 +175,8 @@ func (r *Range) GPUAccess(p *sim.Proc, bytes int64, random bool) {
 // the range (wrapping at the end). Non-resident pages fault in via batched
 // migrations; resident pages are free. This is called by the compute engine
 // while a kernel runs, so migration time lands inside the kernel's
-// execution (exactly how Nsight sees UVM kernels).
+// execution (exactly how Nsight sees UVM kernels). Accessing a released
+// range panics.
 func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 	if r.released {
 		panic("uvm: access to released range")
@@ -186,8 +189,8 @@ func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 		off = 0
 	}
 	off %= r.size
-	first := off / m.params.PageSize
-	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	first := off / m.params.PageBytes
+	need := (bytes + m.params.PageBytes - 1) / m.params.PageBytes
 	r.lastTouch = m.nextClock()
 
 	total := int64(len(r.resident))
@@ -208,7 +211,7 @@ func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 			end = len(missing)
 		}
 		n := end - start
-		m.migrateToGPU(p, r, missing[start:end], int64(n)*m.params.PageSize)
+		m.migrateToGPU(p, r, missing[start:end], int64(n)*m.params.PageBytes)
 	}
 }
 
@@ -217,7 +220,7 @@ func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 // migration always moves full prefetch-sized batches and pays no per-fault
 // round trip, so it recovers most of the encrypted-paging penalty: the
 // data still crosses the bounce buffer and the software cipher under CC,
-// but in streaming form.
+// but in streaming form. Prefetching a released range panics.
 func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 	if r.released {
 		panic("uvm: prefetch of released range")
@@ -226,7 +229,7 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 	if bytes > r.size {
 		bytes = r.size
 	}
-	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	need := (bytes + m.params.PageBytes - 1) / m.params.PageBytes
 	r.lastTouch = m.nextClock()
 
 	var missing []int
@@ -244,7 +247,7 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 		if end > len(missing) {
 			end = len(missing)
 		}
-		n := int64(end-start) * m.params.PageSize
+		n := int64(end-start) * m.params.PageBytes
 		startT := m.eng.Now()
 		if m.pl.SoftwareCryptoPath() {
 			m.pl.BounceAcquire(p, n)
@@ -258,7 +261,7 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 			if !r.resident[i] {
 				r.resident[i] = true
 				r.onGPU++
-				m.residentBytes += m.params.PageSize
+				m.residentBytes += m.params.PageBytes
 			}
 		}
 		m.stats.PagesMigrated += int64(end - start)
@@ -275,6 +278,7 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 
 // HostAccess charges a CPU-side touch of the first `bytes` of the range:
 // resident pages migrate back (write-back), paying decryption under CC.
+// Accessing a released range panics.
 func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
 	if r.released {
 		panic("uvm: access to released range")
@@ -283,7 +287,7 @@ func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
 	if bytes > r.size {
 		bytes = r.size
 	}
-	need := (bytes + m.params.PageSize - 1) / m.params.PageSize
+	need := (bytes + m.params.PageBytes - 1) / m.params.PageBytes
 	var back int64
 	for i := int64(0); i < need && i < int64(len(r.resident)); i++ {
 		if r.resident[i] {
@@ -295,14 +299,14 @@ func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
 		return
 	}
 	r.onGPU -= back
-	m.residentBytes -= back * m.params.PageSize
+	m.residentBytes -= back * m.params.PageBytes
 	batch := int64(m.batchSize(false))
 	for moved := int64(0); moved < back; moved += batch {
 		n := batch
 		if back-moved < n {
 			n = back - moved
 		}
-		m.migrateToHost(p, n*m.params.PageSize)
+		m.migrateToHost(p, n*m.params.PageBytes)
 	}
 }
 
@@ -333,7 +337,7 @@ func (m *Manager) migrateToGPU(p *sim.Proc, r *Range, pageIdx []int, bytes int64
 		if !r.resident[i] {
 			r.resident[i] = true
 			r.onGPU++
-			m.residentBytes += m.params.PageSize
+			m.residentBytes += m.params.PageBytes
 		}
 	}
 	m.stats.FaultBatches++
@@ -390,9 +394,9 @@ func (m *Manager) evictIfNeeded(p *sim.Proc, current *Range) {
 		evict := victim.onGPU
 		victim.resident = make([]bool, len(victim.resident))
 		victim.onGPU = 0
-		m.residentBytes -= evict * m.params.PageSize
+		m.residentBytes -= evict * m.params.PageBytes
 		m.stats.Evictions += evict
-		m.migrateToHost(p, evict*m.params.PageSize)
+		m.migrateToHost(p, evict*m.params.PageBytes)
 	}
 }
 

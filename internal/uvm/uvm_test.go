@@ -181,7 +181,7 @@ func TestPartialAccessOnlyMigratesTouchedPages(t *testing.T) {
 	r := newRig(false)
 	rng := r.mgr.NewRange(4 << 20)
 	r.run(func(p *sim.Proc) { rng.GPUAccess(p, 1<<20, false) })
-	want := int64(1<<20) / DefaultParams().PageSize
+	want := int64(1<<20) / DefaultParams().PageBytes
 	if rng.ResidentPages() != want {
 		t.Fatalf("resident pages = %d, want %d", rng.ResidentPages(), want)
 	}
@@ -226,7 +226,7 @@ func TestPropertyResidencyConservation(t *testing.T) {
 			}
 			var sum int64
 			for _, rg := range ranges {
-				sum += rg.ResidentPages() * r.mgr.Params().PageSize
+				sum += rg.ResidentPages() * r.mgr.Params().PageBytes
 			}
 			ok = sum == r.mgr.ResidentBytes()
 		})
