@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint check bench report sweep-demo clean
+.PHONY: all build test race vet fmt-check lint check bench bench-baseline bench-check report sweep-demo clean
 
 all: check
 
@@ -35,6 +35,19 @@ check: fmt-check vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# The committed performance baseline the regression gate compares against.
+BENCH_BASELINE ?= BENCH_2026-08-06.json
+
+# Refresh the committed baseline on a quiet machine (commit the result).
+bench-baseline:
+	$(GO) run ./cmd/hccbench -json -o $(BENCH_BASELINE)
+
+# Regression gate: rerun the suite and fail on >10% loss of events/sec or
+# figure wall-clock vs the committed baseline. Wall-clock sensitive — CI
+# runs it as a separate non-blocking job.
+bench-check:
+	$(GO) run ./cmd/hccbench -json -compare $(BENCH_BASELINE)
 
 report:
 	$(GO) run ./cmd/hccreport

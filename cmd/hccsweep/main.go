@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hccsim/internal/batch"
+	"hccsim/internal/bench"
 	"hccsim/internal/figures"
 	"hccsim/internal/workloads"
 )
@@ -56,6 +57,10 @@ func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	listParams := flag.Bool("list-params", false, "list sweepable config parameters and exit")
 	flag.Var(&params, "param", "grid axis Name=v1,v2,... (repeatable; cross product)")
+	var prof bench.ProfileConfig
+	flag.StringVar(&prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	flag.StringVar(&prof.Trace, "trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *listParams {
@@ -92,12 +97,19 @@ func main() {
 		}
 	}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	results, cache, err := batch.Run(jobs, *parallel, *cacheDir)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 
 	w := os.Stdout
 	if *out != "-" {

@@ -96,13 +96,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // calibration tables feed fig4a/fig4b; its explicitly wall-clock Measure*
 // entry points are the one sanctioned boundary (see Nondeterminism).
 var DeterministicPackages = map[string]bool{
-	"hccsim":                   true,
-	"hccsim/internal/sim":      true,
-	"hccsim/internal/core":     true,
-	"hccsim/internal/batch":    true,
-	"hccsim/internal/figures":  true,
-	"hccsim/internal/uvm":      true,
-	"hccsim/internal/swcrypto": true,
+	"hccsim":                     true,
+	"hccsim/internal/sim":        true,
+	"hccsim/internal/sim/eventq": true,
+	"hccsim/internal/core":       true,
+	"hccsim/internal/batch":      true,
+	"hccsim/internal/figures":    true,
+	"hccsim/internal/uvm":        true,
+	"hccsim/internal/swcrypto":   true,
 }
 
 // Classify derives the scope flags for a package import path.

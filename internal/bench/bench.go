@@ -1,0 +1,275 @@
+// Package bench is the simulator's performance-baseline harness: it runs a
+// fixed suite of engine microbenchmarks plus the full figure campaign,
+// reports the results as a JSON baseline (the committed BENCH_<date>.json
+// files), and compares a fresh run against a committed baseline, flagging
+// regressions beyond a tolerance. cmd/hccbench -json/-compare and the
+// `make bench-check` CI job are thin wrappers over this package.
+//
+// Unlike the rest of the repo, everything here is intentionally wall-clock:
+// the whole point is to measure the machine. Simulated results are never
+// derived from these numbers.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hccsim/internal/figures"
+	"hccsim/internal/sim"
+)
+
+// SchemaVersion is bumped when the metric set changes incompatibly.
+const SchemaVersion = 1
+
+// DefaultTolerance is the relative change treated as a regression: 10%,
+// per the repo's benchmark-regression policy.
+const DefaultTolerance = 0.10
+
+// Direction states which way a metric is better.
+type Direction string
+
+// Metric directions.
+const (
+	HigherIsBetter Direction = "higher"
+	LowerIsBetter  Direction = "lower"
+)
+
+// Metric is one measured quantity of a baseline run.
+type Metric struct {
+	Name   string    `json:"name"`
+	Value  float64   `json:"value"`
+	Unit   string    `json:"unit"`
+	Better Direction `json:"better"`
+}
+
+// Baseline is one complete harness run — the schema of BENCH_<date>.json.
+type Baseline struct {
+	Schema     int      `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Metrics    []Metric `json:"metrics"`
+	// Counters are sim-wide scheduler totals for the figure campaign —
+	// informational (they describe work done, not speed) and useful for
+	// spotting structural drift: events fired is deterministic for a given
+	// code version, so a change means the simulation itself changed.
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Collect runs the full harness suite and returns the baseline. parallel
+// sizes the figure campaign's worker pool (<= 0 means GOMAXPROCS); date
+// stamps the result (the caller owns the wall-clock date so this package
+// stays testable).
+func Collect(parallel int, date string) (Baseline, error) {
+	b := Baseline{
+		Schema:     SchemaVersion,
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), queuePutGet())
+	figs, counters, err := figureCampaign(parallel)
+	if err != nil {
+		return Baseline{}, err
+	}
+	b.Metrics = append(b.Metrics, figs...)
+	b.Counters = counters
+	return b, nil
+}
+
+// engineScheduleFire measures the bare event-loop rate: schedule batches of
+// no-op events and drain them, arena warm.
+func engineScheduleFire() Metric {
+	const rounds, per = 400, 5000
+	e := sim.NewEngine()
+	fn := func() {}
+	// Warm-up round so arena growth is excluded from the measurement.
+	for i := 0; i < per; i++ {
+		e.Schedule(sim.Duration(i), fn)
+	}
+	e.Run()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < per; i++ {
+			e.Schedule(sim.Duration(i), fn)
+		}
+		e.Run()
+	}
+	elapsed := time.Since(start).Seconds()
+	return Metric{
+		Name:   "engine_schedule_fire",
+		Value:  rounds * per / elapsed,
+		Unit:   "events/sec",
+		Better: HigherIsBetter,
+	}
+}
+
+// procContextSwitch measures the process resume round trip (schedule,
+// handoff, yield) through repeated 1 ns sleeps.
+func procContextSwitch() Metric {
+	const n = 300000
+	e := sim.NewEngine()
+	var elapsed float64
+	e.Spawn("switcher", func(p *sim.Proc) {
+		for i := 0; i < 1000; i++ { // warm-up
+			p.Sleep(time.Nanosecond)
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+		elapsed = time.Since(start).Seconds()
+	})
+	e.Run()
+	return Metric{
+		Name:   "proc_context_switch",
+		Value:  n / elapsed,
+		Unit:   "switches/sec",
+		Better: HigherIsBetter,
+	}
+}
+
+// queuePutGet measures the typed command-queue data path (no blocking).
+func queuePutGet() Metric {
+	const n = 5000000
+	type cmd struct {
+		kind  int
+		bytes int64
+	}
+	e := sim.NewEngine()
+	q := sim.NewQueue[cmd](e)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		q.Put(cmd{kind: i & 3, bytes: int64(i)})
+		q.TryGet()
+	}
+	elapsed := time.Since(start).Seconds()
+	return Metric{
+		Name:   "queue_put_get",
+		Value:  n / elapsed,
+		Unit:   "ops/sec",
+		Better: HigherIsBetter,
+	}
+}
+
+// figureCampaign regenerates the complete figure set through the worker
+// pool and reports wall-clock, sim-wide events/sec, and the scheduler
+// counters of the campaign.
+func figureCampaign(parallel int) ([]Metric, map[string]uint64, error) {
+	sim.ResetGlobalStats()
+	start := time.Now()
+	tables, err := figures.GenerateAll(parallel)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tables) != len(figures.IDs()) {
+		return nil, nil, fmt.Errorf("bench: figure campaign produced %d tables, want %d", len(tables), len(figures.IDs()))
+	}
+	gs := sim.GlobalStats()
+	metrics := []Metric{
+		{
+			Name:   "figure_set_wall",
+			Value:  wall.Seconds() * 1e3,
+			Unit:   "ms",
+			Better: LowerIsBetter,
+		},
+		{
+			Name:   "figure_set_sim_events",
+			Value:  float64(gs.Fired) / wall.Seconds(),
+			Unit:   "events/sec",
+			Better: HigherIsBetter,
+		},
+	}
+	counters := map[string]uint64{
+		"events_fired":    gs.Fired,
+		"events_sched":    gs.Scheduled,
+		"handoffs":        gs.Handoffs,
+		"resumes_batched": gs.ResumesBatched,
+		"allocs_avoided":  gs.AllocsAvoided,
+	}
+	return metrics, counters, nil
+}
+
+// Delta is one metric's baseline-vs-current comparison.
+type Delta struct {
+	Name      string
+	Unit      string
+	Better    Direction
+	Old, New  float64
+	Change    float64 // fractional change, signed as measured (new/old - 1)
+	Regressed bool
+}
+
+// Compare matches current against baseline metric by metric. A metric
+// regresses when it moves in its worse direction by more than tol
+// (fractional, e.g. 0.10). Metrics present in only one of the two runs are
+// skipped; comparing runs with no metrics in common is an error.
+func Compare(baseline, current Baseline, tol float64) ([]Delta, error) {
+	cur := make(map[string]Metric, len(current.Metrics))
+	for _, m := range current.Metrics {
+		cur[m.Name] = m
+	}
+	var deltas []Delta
+	for _, old := range baseline.Metrics {
+		now, ok := cur[old.Name]
+		if !ok || old.Value == 0 {
+			continue
+		}
+		change := now.Value/old.Value - 1
+		d := Delta{
+			Name: old.Name, Unit: old.Unit, Better: old.Better,
+			Old: old.Value, New: now.Value, Change: change,
+		}
+		switch old.Better {
+		case LowerIsBetter:
+			d.Regressed = change > tol
+		default:
+			d.Regressed = change < -tol
+		}
+		deltas = append(deltas, d)
+	}
+	if len(deltas) == 0 {
+		return nil, fmt.Errorf("bench: no metrics in common between baseline (%s) and current run", baseline.Date)
+	}
+	return deltas, nil
+}
+
+// Regressions filters deltas down to the failures.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteFile writes the baseline as indented JSON.
+func WriteFile(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a baseline written by WriteFile.
+func ReadFile(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return Baseline{}, fmt.Errorf("bench: %s has schema %d, this binary writes %d — regenerate the baseline", path, b.Schema, SchemaVersion)
+	}
+	return b, nil
+}

@@ -28,7 +28,7 @@ func Fig07LaunchQueue() Table {
 		if spec.Launches() <= 1 {
 			continue
 		}
-		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		base, cc := runPair(spec, workloads.CopyExecute)
 		mb, mc := base.Runtime.Metrics(), cc.Runtime.Metrics()
 		klo := ratioOf(mc.KLO, mb.KLO)
 		lqt := ratioOf(mc.LQT, mb.LQT)
@@ -96,14 +96,14 @@ func Fig09KET() Table {
 	uvmWorstApp := ""
 	var uvmN int
 	for _, spec := range workloads.All() {
-		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		base, cc := runPair(spec, workloads.CopyExecute)
 		kb := base.Runtime.Metrics().KET
 		kc := cc.Runtime.Metrics().KET
 		row := []interface{}{spec.Name, 1.0, ratioOf(kc, kb)}
 		ccDeltaSum += ratioOf(kc, kb) - 1
 		ccN++
 		if spec.UVMCapable {
-			ub, uc := workloads.Pair(spec, workloads.UVM)
+			ub, uc := runPair(spec, workloads.UVM)
 			rb := ratioOf(ub.Runtime.Metrics().KET, kb)
 			rc := ratioOf(uc.Runtime.Metrics().KET, kb)
 			row = append(row, rb, rc)
@@ -141,7 +141,7 @@ func Fig10Timelines() Table {
 	for _, name := range Fig10Apps {
 		spec := mustWorkload(name)
 		for _, cc := range []bool{false, true} {
-			res := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(cc))
+			res := runWorkload(spec, workloads.CopyExecute, cc)
 			m := core.Decompose(res.Runtime.Tracer())
 			mode := "base"
 			if cc {
@@ -169,7 +169,7 @@ func TimelineEvents(app string, cc bool) ([]trace.Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(cc))
+	res := runWorkload(spec, workloads.CopyExecute, cc)
 	var out []trace.Event
 	for _, e := range res.Runtime.Tracer().Events() {
 		if e.Kind == trace.KindLaunch || e.Kind == trace.KindKernel {
@@ -191,7 +191,7 @@ func Fig11CDFs() Table {
 	}
 	collect := func(cc bool) (klos, kets []time.Duration) {
 		for _, spec := range workloads.All() {
-			res := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(cc))
+			res := runWorkload(spec, workloads.CopyExecute, cc)
 			m := res.Runtime.Metrics()
 			klos = append(klos, m.KLOs...)
 			kets = append(kets, m.KETs...)

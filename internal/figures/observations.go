@@ -21,8 +21,11 @@ type SuiteAggregates struct {
 }
 
 // ComputeSuiteAggregates runs every application in both modes and derives
-// the suite-level ratios.
+// the suite-level ratios. Runs are shared through the figure-level reuse
+// scope: the UVM loop's non-UVM baselines reuse the first loop's results,
+// and under GenerateAll the whole pass reuses the per-figure runs.
 func ComputeSuiteAggregates() SuiteAggregates {
+	defer beginReuse()()
 	var agg SuiteAggregates
 	agg.CopyMin = 1e18
 	var copySum float64
@@ -34,7 +37,7 @@ func ComputeSuiteAggregates() SuiteAggregates {
 	var dmB, dmC, hmB, hmC, frB, frC time.Duration
 
 	for _, spec := range workloads.All() {
-		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		base, cc := runPair(spec, workloads.CopyExecute)
 		mb, mc := base.Runtime.Metrics(), cc.Runtime.Metrics()
 
 		tb := mb.CopyH2D + mb.CopyD2H + mb.CopyD2D
@@ -90,8 +93,8 @@ func ComputeSuiteAggregates() SuiteAggregates {
 	var uvmBaseSum, uvmCCSum float64
 	var uvmN int
 	for _, spec := range workloads.UVMSuite() {
-		nb, _ := workloads.Pair(spec, workloads.CopyExecute)
-		ub, uc := workloads.Pair(spec, workloads.UVM)
+		nb, _ := runPair(spec, workloads.CopyExecute)
+		ub, uc := runPair(spec, workloads.UVM)
 		ketBase := nb.Runtime.Metrics().KET
 		if ketBase <= 0 {
 			continue

@@ -144,7 +144,13 @@ func Generate(id string) (Table, error) {
 // GenerateAll reproduces every figure, fanning the independent generators
 // out across the batch worker pool (parallel <= 0 means GOMAXPROCS).
 // Results come back in display order; the first failure aborts.
+//
+// The whole fan-out runs inside one sub-result reuse scope: every
+// default-config workload simulation is executed once and shared across the
+// generators that need it (fig5/6/7/9/11 and the observations summary all
+// sweep the same suite), instead of each figure re-simulating the suite.
 func GenerateAll(parallel int) ([]Table, error) {
+	defer beginReuse()()
 	results := (&batch.Pool{Workers: parallel}).Run(Jobs())
 	tables := make([]Table, len(results))
 	for i, r := range results {

@@ -78,7 +78,7 @@ func Fig04bCrypto(measureLocal bool) Table {
 	for _, alg := range swcrypto.AllAlgorithms {
 		local := "-"
 		if measureLocal {
-			if gbps, err := swcrypto.Measure(alg, 64<<10, 20*time.Millisecond); err == nil {
+			if gbps, err := swcrypto.MeasureOnce(alg, 64<<10, 20*time.Millisecond); err == nil {
 				local = fmt.Sprintf("%.2f", gbps)
 			}
 		}
@@ -107,7 +107,7 @@ func Fig05CopyTime() Table {
 	worstApp := ""
 	best := 1e18
 	for _, spec := range workloads.All() {
-		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		base, cc := runPair(spec, workloads.CopyExecute)
 		mb, mc := base.Runtime.Metrics(), cc.Runtime.Metrics()
 		tb := mb.CopyH2D + mb.CopyD2H + mb.CopyD2D
 		tc := mc.CopyH2D + mc.CopyD2H + mc.CopyD2D
@@ -140,7 +140,7 @@ func Fig06AllocFree() Table {
 	}
 	var dmB, dmC, hmB, hmC, frB, frC time.Duration
 	for _, spec := range workloads.All() {
-		base, cc := workloads.Pair(spec, workloads.CopyExecute)
+		base, cc := runPair(spec, workloads.CopyExecute)
 		hb, db, fb := allocSplit(base.Runtime)
 		hc, dc, fc := allocSplit(cc.Runtime)
 		t.AddRow(spec.Name, ms(hb), ms(db), ms(fb), ms(hc), ms(dc), ms(fc))

@@ -198,13 +198,13 @@ func (d *Device) dispatchCost() time.Duration {
 type Channel struct {
 	dev  *Device
 	id   int
-	q    *sim.Queue
+	q    *sim.Queue[command]
 	last *sim.Signal // completion of the most recent command
 }
 
 // NewChannel creates and starts a channel.
 func (d *Device) NewChannel() *Channel {
-	ch := &Channel{dev: d, id: len(d.channels), q: sim.NewQueue(d.eng)}
+	ch := &Channel{dev: d, id: len(d.channels), q: sim.NewQueue[command](d.eng)}
 	d.channels = append(d.channels, ch)
 	d.eng.SpawnDaemon(fmt.Sprintf("gpu-ch%d", ch.id), ch.loop)
 	return ch
@@ -272,7 +272,7 @@ func (ch *Channel) SubmitMarker() *sim.Signal {
 func (ch *Channel) loop(p *sim.Proc) {
 	d := ch.dev
 	for {
-		cmd := ch.q.Get(p).(command)
+		cmd := ch.q.Get(p)
 		switch c := cmd.(type) {
 		case kernelCmd:
 			cost := d.dispatchCost()

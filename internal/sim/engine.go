@@ -9,12 +9,19 @@
 // to sleep, wait on signals, acquire resources, and exchange items through
 // queues. Device models (command processors, copy engines, fault handlers)
 // and host programs (CUDA applications) are all written as processes.
+//
+// Scheduling internals live in the eventq sub-package: a typed 4-ary
+// min-heap over an index-addressed arena with a free-list, so the steady
+// state neither boxes nor allocates per event. Process resumes are
+// scheduled as direct *Proc payloads (no closure per wake), and broadcast
+// wake-ups batch all waiters into a single event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
+
+	"hccsim/internal/sim/eventq"
 )
 
 // Time is an instant on the simulated clock, in nanoseconds since the start
@@ -34,45 +41,55 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the instant as a duration offset from simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq breaks ties), which keeps runs deterministic.
-type event struct {
-	at   Time
-	seq  uint64
-	fire func()
+// item is one scheduled unit of work. Exactly one field is set:
+//
+//	fn    — a generic callback;
+//	proc  — resume this single blocked process (the dominant case: Sleep,
+//	        Resource hand-over, Queue wake — no closure allocated);
+//	procs — resume this batch of processes in order (a Signal broadcast
+//	        collapsed into one event; the slice is taken from the signal's
+//	        waiter list, so batching allocates nothing either).
+type item struct {
+	fn    func()
+	proc  *Proc
+	procs []*Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// Stats is a snapshot of the engine's hot-path counters.
+type Stats struct {
+	// Fired counts dispatched events.
+	Fired uint64
+	// Scheduled counts enqueued events (single batched broadcast events
+	// count once; see ResumesBatched for the resumes they carried).
+	Scheduled uint64
+	// Handoffs counts engine->process control transfers, each one a
+	// channel round trip — the irreducible cost of goroutine-based
+	// coroutines that resume batching amortizes scheduling around.
+	Handoffs uint64
+	// ResumesBatched counts process resumes that rode a broadcast event
+	// instead of costing their own schedule/pop pair.
+	ResumesBatched uint64
+	// AllocsAvoided counts event-arena slots served from the free-list —
+	// allocations the old pointer-heap design would have made.
+	AllocsAvoided uint64
+	// HeapMaxDepth is the event queue's high-water mark.
+	HeapMaxDepth int
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // engines with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	token   chan struct{} // control hand-back from the running process
-	procs   int           // processes spawned and not yet finished
-	blocked int           // processes currently waiting on something
-	running bool
-	fired   uint64
+	now      Time
+	queue    eventq.Queue[item]
+	token    chan struct{} // control hand-back from the running process
+	procs    int           // processes spawned and not yet finished
+	blocked  int           // processes currently waiting on something
+	running  bool
+	fired    uint64
+	sched    uint64
+	handoffs uint64
+	batched  uint64
+	flushed  Stats // counters already published to the global aggregates
 }
 
 // NewEngine returns a fresh engine with the clock at zero.
@@ -86,6 +103,23 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have been dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// Blocked reports how many processes are currently suspended waiting on a
+// signal, resource, or queue. With an empty event queue, a non-zero Blocked
+// count on non-daemon processes is a deadlock.
+func (e *Engine) Blocked() int { return e.blocked }
+
+// Stats returns a snapshot of the engine's scheduling counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Fired:          e.fired,
+		Scheduled:      e.sched,
+		Handoffs:       e.handoffs,
+		ResumesBatched: e.batched,
+		AllocsAvoided:  e.queue.Reused(),
+		HeapMaxDepth:   e.queue.MaxDepth(),
+	}
+}
+
 // Schedule registers fn to run at time e.Now()+d. It may be called from the
 // engine loop, from a process, or before Run. Scheduling in the past panics,
 // since it would break causality.
@@ -93,17 +127,45 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.scheduleAt(e.now.Add(d), fn)
+	e.push(e.now.Add(d), item{fn: fn})
 }
 
-// scheduleAt enqueues fn at an absolute time. Scheduling before now
-// panics — the same causality rule Schedule documents.
-func (e *Engine) scheduleAt(at Time, fn func()) {
+// scheduleProc enqueues a direct resume of p at an absolute time — no
+// closure, just the pointer riding the event arena.
+func (e *Engine) scheduleProc(at Time, p *Proc) {
+	e.push(at, item{proc: p})
+}
+
+// scheduleBatch enqueues one event that resumes every process in procs, in
+// order. The engine takes ownership of the slice.
+func (e *Engine) scheduleBatch(at Time, procs []*Proc) {
+	e.push(at, item{procs: procs})
+	e.batched += uint64(len(procs))
+}
+
+// push enqueues it at an absolute time. Scheduling before now panics — the
+// same causality rule Schedule documents.
+func (e *Engine) push(at Time, it item) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fire: fn})
+	e.sched++
+	e.queue.Push(int64(at), it)
+}
+
+// dispatch runs one popped item at the current clock.
+func (e *Engine) dispatch(it item) {
+	e.fired++
+	switch {
+	case it.proc != nil:
+		e.handoff(it.proc)
+	case it.procs != nil:
+		for _, p := range it.procs {
+			e.handoff(p)
+		}
+	default:
+		it.fn()
+	}
 }
 
 // Run dispatches events until the queue is empty, then returns the final
@@ -115,27 +177,37 @@ func (e *Engine) Run() Time {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		e.fired++
-		ev.fire()
+	defer func() {
+		e.running = false
+		e.flushGlobal()
+	}()
+	for e.queue.Len() > 0 {
+		at, it := e.queue.Pop()
+		e.now = Time(at)
+		e.dispatch(it)
 	}
-	if e.procs > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.procs))
-	}
+	e.checkDeadlock()
 	return e.now
 }
 
 // RunUntil dispatches events with timestamps <= deadline and then stops,
-// advancing the clock to the deadline. Blocked processes are left blocked.
+// advancing the clock to the deadline. Blocked processes whose wake-ups lie
+// beyond the deadline are left blocked; but if the queue drains completely
+// while non-daemon processes are still blocked, they can never be resumed,
+// and RunUntil panics with the same deadlock report as Run.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		e.fired++
-		ev.fire()
+	defer e.flushGlobal()
+	for {
+		at, ok := e.queue.MinAt()
+		if !ok || Time(at) > deadline {
+			break
+		}
+		_, it := e.queue.Pop()
+		e.now = Time(at)
+		e.dispatch(it)
+	}
+	if e.queue.Len() == 0 {
+		e.checkDeadlock()
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -143,5 +215,13 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
+// checkDeadlock panics if non-daemon processes are blocked with no pending
+// events — the modelling bug both Run and RunUntil promise to surface.
+func (e *Engine) checkDeadlock() {
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.procs))
+	}
+}
+
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queue.Len() }

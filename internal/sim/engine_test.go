@@ -232,11 +232,11 @@ func TestReleaseIdlePanics(t *testing.T) {
 
 func TestQueueBlockingGet(t *testing.T) {
 	e := NewEngine()
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	var got []int
 	e.Spawn("consumer", func(p *Proc) {
 		for i := 0; i < 3; i++ {
-			got = append(got, q.Get(p).(int))
+			got = append(got, q.Get(p))
 		}
 	})
 	e.Spawn("producer", func(p *Proc) {
@@ -258,13 +258,13 @@ func TestQueueBlockingGet(t *testing.T) {
 
 func TestQueueTryGet(t *testing.T) {
 	e := NewEngine()
-	q := NewQueue(e)
+	q := NewQueue[string](e)
 	if _, ok := q.TryGet(); ok {
 		t.Fatal("TryGet on empty queue returned ok")
 	}
 	q.Put("x")
 	v, ok := q.TryGet()
-	if !ok || v.(string) != "x" {
+	if !ok || v != "x" {
 		t.Fatalf("TryGet = %v, %v", v, ok)
 	}
 }
@@ -292,6 +292,115 @@ func TestRunUntilStopsAtDeadline(t *testing.T) {
 	}
 	if e.Pending() != 1 {
 		t.Fatalf("pending=%d, want 1", e.Pending())
+	}
+}
+
+// RunUntil must surface the same deadlock state Run panics on: queue
+// drained with non-daemon processes still blocked.
+func TestRunUntilDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic from RunUntil")
+		}
+	}()
+	e.RunUntil(Time(100))
+}
+
+// A process whose wake-up lies beyond the deadline is waiting, not
+// deadlocked: its resume event is still pending.
+func TestRunUntilLeavesFutureSleepersBlocked(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Proc) { p.Sleep(50 * time.Nanosecond) })
+	now := e.RunUntil(Time(20))
+	if now != Time(20) {
+		t.Fatalf("now = %v, want 20ns", now)
+	}
+	if e.Blocked() != 1 {
+		t.Fatalf("Blocked() = %d, want 1", e.Blocked())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want the sleeper's wake-up", e.Pending())
+	}
+	if end := e.RunUntil(Time(100)); end != Time(100) {
+		t.Fatalf("end = %v, want 100ns", end)
+	}
+	if e.Blocked() != 0 {
+		t.Fatalf("Blocked() = %d after completion, want 0", e.Blocked())
+	}
+}
+
+// Daemons blocked forever must not trip RunUntil's deadlock check either.
+func TestRunUntilDaemonNotDeadlock(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			q.Get(p)
+		}
+	})
+	if end := e.RunUntil(Time(10)); end != Time(10) {
+		t.Fatalf("end = %v, want 10ns", end)
+	}
+	if e.Blocked() != 1 {
+		t.Fatalf("Blocked() = %d, want the daemon", e.Blocked())
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) { s.Wait(p) })
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(10 * time.Nanosecond)
+		s.Fire()
+	})
+	e.Run()
+	st := e.Stats()
+	if st.Fired == 0 || st.Fired != e.Fired() {
+		t.Fatalf("Fired = %d (engine says %d)", st.Fired, e.Fired())
+	}
+	if st.Scheduled < st.Fired {
+		t.Fatalf("Scheduled = %d < Fired = %d", st.Scheduled, st.Fired)
+	}
+	if st.Handoffs == 0 {
+		t.Fatal("no handoffs counted despite four processes running")
+	}
+	if st.ResumesBatched != 3 {
+		t.Fatalf("ResumesBatched = %d, want 3 (one broadcast to three waiters)", st.ResumesBatched)
+	}
+	if st.HeapMaxDepth == 0 {
+		t.Fatal("HeapMaxDepth not tracked")
+	}
+	if st.AllocsAvoided == 0 {
+		t.Fatal("free-list never reused a slot across this run")
+	}
+}
+
+// The engine's steady-state hot path must not allocate: schedule/fire with
+// a warm arena reuses free-list slots, and direct process resumes carry no
+// closures.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.Spawn("ticker", func(p *Proc) {
+		// Warm up the arena and backing arrays.
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+		allocs := testing.AllocsPerRun(100, func() { p.Sleep(time.Nanosecond) })
+		if allocs > 0 {
+			t.Errorf("steady-state Sleep allocates %.1f times per op, want 0", allocs)
+		}
+		done = true
+	})
+	e.Run()
+	if !done {
+		t.Fatal("ticker never ran")
 	}
 }
 
@@ -353,12 +462,12 @@ func TestPropertyQueueFIFO(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
-		q := NewQueue(e)
+		q := NewQueue[int](e)
 		count := int(n%50) + 1
 		var got []int
 		e.Spawn("c", func(p *Proc) {
 			for i := 0; i < count; i++ {
-				got = append(got, q.Get(p).(int))
+				got = append(got, q.Get(p))
 			}
 		})
 		e.Spawn("p", func(p *Proc) {
@@ -403,7 +512,7 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 
 func TestAccessorsAndDaemons(t *testing.T) {
 	e := NewEngine()
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	// A daemon blocked forever must not trip deadlock detection.
 	e.SpawnDaemon("server", func(p *Proc) {
 		for {
@@ -459,7 +568,7 @@ func TestResourceAccessors(t *testing.T) {
 	if r.Capacity() != 3 || r.InUse() != 0 || r.QueueLen() != 0 {
 		t.Fatal("resource accessors wrong")
 	}
-	q := NewQueue(e)
+	q := NewQueue[int](e)
 	q.Put(1)
 	q.Put(2)
 	if q.MaxDepth() != 2 {

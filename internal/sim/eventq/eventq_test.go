@@ -1,0 +1,174 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrderByTimeThenSeq(t *testing.T) {
+	var q Queue[int]
+	q.Push(30, 3)
+	q.Push(10, 1)
+	q.Push(20, 2)
+	q.Push(10, 4) // same time as the second push: must pop after it
+	wantAt := []int64{10, 10, 20, 30}
+	wantPayload := []int{1, 4, 2, 3}
+	for i := range wantAt {
+		at, v := q.Pop()
+		if at != wantAt[i] || v != wantPayload[i] {
+			t.Fatalf("pop %d = (%d, %d), want (%d, %d)", i, at, v, wantAt[i], wantPayload[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: len=%d", q.Len())
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 1000; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, v := q.Pop(); v != i {
+			t.Fatalf("same-time entries not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestMinAt(t *testing.T) {
+	var q Queue[string]
+	if _, ok := q.MinAt(); ok {
+		t.Fatal("MinAt on empty queue returned ok")
+	}
+	q.Push(42, "x")
+	at, ok := q.MinAt()
+	if !ok || at != 42 {
+		t.Fatalf("MinAt = (%d, %v), want (42, true)", at, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("MinAt consumed the entry")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Pop of empty queue")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+func TestFreeListReuseKeepsArenaBounded(t *testing.T) {
+	var q Queue[int]
+	// Steady state: one in flight at a time, many iterations.
+	for i := 0; i < 10000; i++ {
+		q.Push(int64(i), i)
+		q.Pop()
+	}
+	if len(q.arena) != 1 {
+		t.Fatalf("arena grew to %d slots in steady state, want 1", len(q.arena))
+	}
+	if q.Reused() != 9999 {
+		t.Fatalf("reused = %d, want 9999", q.Reused())
+	}
+	if q.MaxDepth() != 1 {
+		t.Fatalf("maxDepth = %d, want 1", q.MaxDepth())
+	}
+}
+
+func TestPopZeroesArenaSlot(t *testing.T) {
+	var q Queue[*int]
+	v := 7
+	q.Push(1, &v)
+	q.Pop()
+	// The freed slot must not pin the payload.
+	if q.arena[0] != nil {
+		t.Fatal("popped arena slot still references its payload")
+	}
+}
+
+// Property: any push schedule pops in nondecreasing time order, with pushes
+// at equal times popping in push order; every payload comes out exactly once.
+func TestPropertyHeapOrder(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%200 + 1
+		var q Queue[int]
+		type pushed struct {
+			at int64
+			id int
+		}
+		var all []pushed
+		for i := 0; i < count; i++ {
+			at := int64(rng.Intn(20)) // dense times force ties
+			q.Push(at, i)
+			all = append(all, pushed{at, i})
+		}
+		// Expected order: stable sort by time (stability = push order).
+		sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+		for i := 0; i < count; i++ {
+			at, id := q.Pop()
+			if at != all[i].at || id != all[i].id {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved push/pop keeps order among live entries.
+func TestPropertyInterleavedPushPop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue[int64]
+		var clock int64
+		for i := 0; i < 500; i++ {
+			if q.Len() == 0 || rng.Intn(2) == 0 {
+				q.Push(clock+int64(rng.Intn(50)), clock)
+			} else {
+				at, _ := q.Pop()
+				if at < clock {
+					return false // time went backwards
+				}
+				clock = at
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue[func()]
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(int64(i), fn)
+		q.Pop()
+	}
+}
+
+func BenchmarkPushPopDepth1000(b *testing.B) {
+	var q Queue[func()]
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		q.Push(int64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(int64(i+1000), fn)
+		q.Pop()
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+// Queue is an unbounded FIFO of T with blocking Get, used as the command
+// stream between producers (drivers, command processors) and consumers
+// (engines). Put never blocks.
+//
+// The type parameter removes the interface{} boxing the pre-generic queue
+// imposed on every item: device-model call sites (gpu command channels)
+// enqueue their command structs directly and Get returns them typed, with
+// no per-item heap allocation and no type assertion on the hot path.
+//
+// Items live in a sliding window of one backing slice: Get advances a head
+// index instead of re-slicing, and the backing array is reused from the
+// start whenever the queue drains, so an alternating Put/Get steady state
+// allocates nothing.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	head    int
+	getters []*Proc
+
+	maxDepth int
+	puts     uint64
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// MaxDepth returns the high-water mark of the queue length.
+func (q *Queue[T]) MaxDepth() int { return q.maxDepth }
+
+// Puts returns the total number of items ever enqueued.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Put appends an item and wakes one blocked getter, if any.
+func (q *Queue[T]) Put(item T) {
+	q.items = append(q.items, item)
+	q.puts++
+	if q.Len() > q.maxDepth {
+		q.maxDepth = q.Len()
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+}
+
+// take removes and returns the oldest item; the queue must be non-empty.
+// The vacated slot is zeroed so the queue never pins consumed items, and
+// the window resets to the front of the backing array on drain.
+func (q *Queue[T]) take() T {
+	item := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return item
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty. Concurrent getters are served FIFO.
+func (q *Queue[T]) Get(p *Proc) T {
+	for q.Len() == 0 {
+		q.getters = append(q.getters, p)
+		p.yield()
+	}
+	return q.take()
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue[T]) TryGet() (item T, ok bool) {
+	if q.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.take(), true
+}

@@ -88,66 +88,3 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	p.Sleep(d)
 	r.Release()
 }
-
-// Queue is an unbounded FIFO of items with blocking Get, used as the command
-// stream between producers (drivers, command processors) and consumers
-// (engines). Put never blocks.
-type Queue struct {
-	eng     *Engine
-	items   []interface{}
-	getters []*Proc
-
-	maxDepth int
-	puts     uint64
-}
-
-// NewQueue returns an empty queue bound to e.
-func NewQueue(e *Engine) *Queue { return &Queue{eng: e} }
-
-// Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
-
-// MaxDepth returns the high-water mark of the queue length.
-func (q *Queue) MaxDepth() int { return q.maxDepth }
-
-// Puts returns the total number of items ever enqueued.
-func (q *Queue) Puts() uint64 { return q.puts }
-
-// Put appends an item and wakes one blocked getter, if any.
-func (q *Queue) Put(item interface{}) {
-	q.items = append(q.items, item)
-	q.puts++
-	if len(q.items) > q.maxDepth {
-		q.maxDepth = len(q.items)
-	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		g.wake()
-	}
-}
-
-// Get removes and returns the oldest item, blocking p while the queue is
-// empty. Concurrent getters are served FIFO.
-func (q *Queue) Get(p *Proc) interface{} {
-	for len(q.items) == 0 {
-		q.getters = append(q.getters, p)
-		p.yield()
-	}
-	item := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	return item
-}
-
-// TryGet removes and returns the oldest item without blocking; ok is false
-// if the queue is empty.
-func (q *Queue) TryGet() (item interface{}, ok bool) {
-	if len(q.items) == 0 {
-		return nil, false
-	}
-	item = q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	return item, true
-}

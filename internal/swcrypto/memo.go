@@ -1,0 +1,78 @@
+package swcrypto
+
+import (
+	"sync"
+	"time"
+)
+
+// Calibration memoization: every simulated System builds a SoftCrypto for
+// its platform, and sweep campaigns build thousands of identical ones.
+// Both the calibrated-model lookup and the local wall-clock measurement are
+// pure functions of their key within one process (the machine does not
+// change mid-run), so they are computed once and shared.
+
+type calibKey struct {
+	cpu CPUModel
+	alg Algorithm
+}
+
+var (
+	calibMu    sync.Mutex
+	calibCache = map[calibKey]*SoftCrypto{}
+)
+
+// lookupCalibrated returns the shared memoized model for (cpu, alg),
+// building it with build on first use. The returned value is shared across
+// callers and must be treated as immutable (SoftCrypto has no mutating
+// methods; Time and EffectiveGBps are pure).
+func lookupCalibrated(cpu CPUModel, alg Algorithm, build func() (*SoftCrypto, error)) (*SoftCrypto, error) {
+	calibMu.Lock()
+	defer calibMu.Unlock()
+	key := calibKey{cpu, alg}
+	if sc, ok := calibCache[key]; ok {
+		return sc, nil
+	}
+	sc, err := build()
+	if err != nil {
+		return nil, err
+	}
+	calibCache[key] = sc
+	return sc, nil
+}
+
+type measureKey struct {
+	alg     Algorithm
+	bufSize int
+	budget  time.Duration
+}
+
+type measureResult struct {
+	once sync.Once
+	gbps float64
+	err  error
+}
+
+var (
+	measureMu    sync.Mutex
+	measureCache = map[measureKey]*measureResult{}
+)
+
+// MeasureOnce is Measure with per-process memoization: the first call for a
+// given (algorithm, buffer size, budget) runs the real wall-clock
+// measurement and every later call returns the same result. Figure
+// regeneration inside one campaign (fig4b under GenerateAll, benchmark
+// re-runs) measures each cipher once instead of per regeneration.
+// Concurrent first calls for the same key block until one measurement
+// completes, so a parallel figure pool never double-times the machine.
+func MeasureOnce(alg Algorithm, bufSize int, budget time.Duration) (float64, error) {
+	measureMu.Lock()
+	key := measureKey{alg, bufSize, budget}
+	r, ok := measureCache[key]
+	if !ok {
+		r = &measureResult{}
+		measureCache[key] = r
+	}
+	measureMu.Unlock()
+	r.once.Do(func() { r.gbps, r.err = Measure(alg, bufSize, budget) })
+	return r.gbps, r.err
+}

@@ -180,17 +180,22 @@ type SoftCrypto struct {
 	PerCall        time.Duration // key schedule, IV setup, tag finalize
 }
 
-// NewSoftCrypto returns the calibrated model for alg on cpu.
+// NewSoftCrypto returns the calibrated model for alg on cpu. Models are
+// memoized per (cpu, alg) — every simulated system with the same platform
+// shares one immutable instance, so sweeps do not re-derive (or
+// re-allocate) the calibration per job.
 func NewSoftCrypto(cpu CPUModel, alg Algorithm) (*SoftCrypto, error) {
-	table, ok := CalibratedGBps[cpu]
-	if !ok {
-		return nil, fmt.Errorf("swcrypto: unknown CPU model %q", cpu)
-	}
-	gbps, ok := table[alg]
-	if !ok {
-		return nil, fmt.Errorf("swcrypto: no calibration for %q on %q", alg, cpu)
-	}
-	return &SoftCrypto{Algorithm: alg, ThroughputGBps: gbps, PerCall: 950 * time.Nanosecond}, nil
+	return lookupCalibrated(cpu, alg, func() (*SoftCrypto, error) {
+		table, ok := CalibratedGBps[cpu]
+		if !ok {
+			return nil, fmt.Errorf("swcrypto: unknown CPU model %q", cpu)
+		}
+		gbps, ok := table[alg]
+		if !ok {
+			return nil, fmt.Errorf("swcrypto: no calibration for %q on %q", alg, cpu)
+		}
+		return &SoftCrypto{Algorithm: alg, ThroughputGBps: gbps, PerCall: 950 * time.Nanosecond}, nil
+	})
 }
 
 // Time returns the modelled duration to encrypt (or decrypt) n bytes.
