@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint check bench bench-baseline bench-check report sweep-demo clean
+.PHONY: all build test race vet fmt-check lint golden check bench bench-baseline bench-check report sweep-demo clean
 
 all: check
 
@@ -31,7 +31,13 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/hcclint ./...
 
-check: fmt-check vet lint race
+# Byte-identity gate for the protection-mode layer: every committed figure
+# golden, plus the cross-mode spelling-equivalence tests (off/tdx-h100
+# named modes vs the deprecated CC boolean must simulate identically).
+golden:
+	$(GO) test ./internal/figures -run 'Golden|ModeSpelling' -count=1
+
+check: fmt-check vet lint golden race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,7 +1,8 @@
 // Command hccmodel fits the paper's Section V performance model to an
-// application in both CC modes and reports the decomposition, the CC/base
-// component ratios, and the Observation 6 classification (launch-bound vs
-// compute-hidden, by kernel-to-launch ratio).
+// application under a protection mode and its unprotected baseline, and
+// reports the decomposition, the protected/base component ratios, and the
+// Observation 6 classification (launch-bound vs compute-hidden, by
+// kernel-to-launch ratio).
 package main
 
 import (
@@ -18,46 +19,53 @@ import (
 func main() {
 	app := flag.String("app", "", "application to model (empty = whole suite summary)")
 	uvm := flag.Bool("uvm", false, "use the UVM variant")
+	ccMode := flag.String("mode", "tdx-h100",
+		"protection mode to compare against off: tdx-h100, tee-io-direct, tee-io-bridge (optionally +pipelined)")
 	flag.Parse()
 
+	prot, err := cuda.NewConfig(*ccMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hccmodel:", err)
+		os.Exit(1)
+	}
 	if *app != "" {
 		spec, err := workloads.ByName(*app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		one(spec, *uvm)
+		one(spec, *uvm, prot)
 		return
 	}
-	suite()
+	suite(prot)
 }
 
-func one(spec workloads.Spec, uvm bool) {
+func one(spec workloads.Spec, uvm bool, prot cuda.Config) {
 	mode := workloads.CopyExecute
 	if uvm {
 		mode = workloads.UVM
 	}
-	base := workloads.Execute(spec, mode, cuda.DefaultConfig(false))
-	cc := workloads.Execute(spec, mode, cuda.DefaultConfig(true))
+	base := workloads.Execute(spec, mode, mustConfig("off"))
+	cc := workloads.Execute(spec, mode, prot)
 	mb := core.Decompose(base.Runtime.Tracer())
 	mc := core.Decompose(cc.Runtime.Tracer())
 
 	fmt.Printf("%s (%s)\n", spec.Name, mode)
-	fmt.Printf("  base: %s\n", mb)
-	fmt.Printf("  cc:   %s\n", mc)
+	fmt.Printf("  off:  %s\n", mb)
+	fmt.Printf("  %s: %s\n", prot.Mode, mc)
 	r := core.Compare(mb, mc)
-	fmt.Printf("  CC/base ratios: Tmem %.2fx  KLO %.2fx  LQT %.2fx  KQT %.2fx  KET %.2fx  alloc %.2fx  free %.2fx  total %.2fx\n",
-		r.Tmem, r.KLO, r.LQT, r.KQT, r.KET, r.Alloc, r.Free, r.Total)
-	fmt.Printf("  prediction check: base %v vs %v, cc %v vs %v\n",
-		mb.Predict(), mb.Total, mc.Predict(), mc.Total)
+	fmt.Printf("  %s/off ratios: Tmem %.2fx  KLO %.2fx  LQT %.2fx  KQT %.2fx  KET %.2fx  alloc %.2fx  free %.2fx  total %.2fx\n",
+		prot.Mode, r.Tmem, r.KLO, r.LQT, r.KQT, r.KET, r.Alloc, r.Free, r.Total)
+	fmt.Printf("  prediction check: off %v vs %v, %s %v vs %v\n",
+		mb.Predict(), mb.Total, prot.Mode, mc.Predict(), mc.Total)
 }
 
-func suite() {
+func suite(prot cuda.Config) {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "APP\tKLR(base)\tKLR(cc)\tREGIME\tCC-TOTAL/BASE")
+	fmt.Fprintf(w, "APP\tKLR(off)\tKLR(%s)\tREGIME\tTOTAL/OFF\n", prot.Mode)
 	for _, spec := range workloads.All() {
-		base := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(false))
-		cc := workloads.Execute(spec, workloads.CopyExecute, cuda.DefaultConfig(true))
+		base := workloads.Execute(spec, workloads.CopyExecute, mustConfig("off"))
+		cc := workloads.Execute(spec, workloads.CopyExecute, prot)
 		mb := core.Decompose(base.Runtime.Tracer())
 		mc := core.Decompose(cc.Runtime.Tracer())
 		regime := "compute-hidden"
@@ -68,4 +76,13 @@ func suite() {
 			spec.Name, mb.KLR(), mc.KLR(), regime, float64(mc.Total)/float64(mb.Total))
 	}
 	w.Flush()
+}
+
+// mustConfig resolves a static mode name; a failure is a programming error.
+func mustConfig(mode string) cuda.Config {
+	cfg, err := cuda.NewConfig(mode)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
 }

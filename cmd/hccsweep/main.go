@@ -10,6 +10,11 @@
 //
 //	hccsweep -workloads 2dconv,gemm,sc -modes cc,base \
 //	    -param PCIeGBps=8,16,32,64 -parallel 8 -cache .hcccache
+//
+// Protection modes are a sweep axis too, either via -modes with mode names
+// or as a cc.mode grid axis:
+//
+//	hccsweep -workloads gemm,atax -param cc.mode=off,tdx-h100,tee-io-bridge
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"hccsim/internal/batch"
 	"hccsim/internal/bench"
+	"hccsim/internal/ccmode"
 	"hccsim/internal/figures"
 	"hccsim/internal/workloads"
 )
@@ -50,7 +56,7 @@ func main() {
 	cnns := flag.String("cnn", "", "CNN cells model:batch:precision, comma list (e.g. resnet50:64:fp32)")
 	llms := flag.String("llm", "", "LLM cells backend:quant:batch, comma list (e.g. vllm:awq:8)")
 	uvm := flag.Bool("uvm", false, "also sweep the UVM variant of UVM-capable workloads")
-	modes := flag.String("modes", "cc,base", "comma list of cc,base")
+	modes := flag.String("modes", "cc,base", "comma list of cc, base, or protection-mode names (off, tdx-h100, tee-io-direct, tee-io-bridge, optionally +pipelined)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = in-memory only)")
 	format := flag.String("format", "table", "output format: table, csv or json")
@@ -152,10 +158,10 @@ func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axi
 			if err != nil {
 				return nil, err
 			}
-			for _, cc := range ccModes {
-				jobs = append(jobs, batch.WorkloadJob(name, false, cc))
+			for _, m := range ccModes {
+				jobs = append(jobs, m.apply(batch.WorkloadJob(name, false, m.cc)))
 				if uvm && spec.UVMCapable {
-					jobs = append(jobs, batch.WorkloadJob(name, true, cc))
+					jobs = append(jobs, m.apply(batch.WorkloadJob(name, true, m.cc)))
 				}
 			}
 		}
@@ -165,8 +171,8 @@ func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axi
 		if err != nil {
 			return nil, err
 		}
-		for _, cc := range ccModes {
-			jobs = append(jobs, batch.CNNJob(model, b, prec, cc))
+		for _, m := range ccModes {
+			jobs = append(jobs, m.apply(batch.CNNJob(model, b, prec, m.cc)))
 		}
 	}
 	for _, cell := range splitCells(llms) {
@@ -174,26 +180,48 @@ func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axi
 		if err != nil {
 			return nil, err
 		}
-		for _, cc := range ccModes {
-			jobs = append(jobs, batch.LLMJob(backend, quant, b, cc))
+		for _, m := range ccModes {
+			jobs = append(jobs, m.apply(batch.LLMJob(backend, quant, b, m.cc)))
 		}
 	}
 	for _, ax := range axes {
+		if ax.Param == batch.ModeAxis {
+			jobs = batch.GridModes(jobs, ax.Modes)
+			continue
+		}
 		jobs = batch.Grid(jobs, ax.Param, ax.Values)
 	}
 	return jobs, nil
 }
 
-func parseModes(s string) ([]bool, error) {
-	var out []bool
+// jobMode is one -modes entry: the legacy cc/base spellings keep the
+// deprecated boolean jobs (and their labels and cache keys), anything else
+// is a protection-mode name resolved through ccmode.ByName.
+type jobMode struct {
+	mode string // canonical mode name; "" for a legacy cc/base entry
+	cc   bool
+}
+
+func (m jobMode) apply(j batch.Job) batch.Job {
+	j.Mode = m.mode
+	return j
+}
+
+func parseModes(s string) ([]jobMode, error) {
+	var out []jobMode
 	for _, m := range strings.Split(s, ",") {
-		switch strings.TrimSpace(m) {
+		switch name := strings.TrimSpace(m); name {
 		case "cc":
-			out = append(out, true)
+			out = append(out, jobMode{cc: true})
 		case "base":
-			out = append(out, false)
+			out = append(out, jobMode{})
 		default:
-			return nil, fmt.Errorf("hccsweep: unknown mode %q (want cc or base)", m)
+			cm, err := ccmode.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("hccsweep: unknown mode %q (want cc, base, or one of %s)",
+					name, strings.Join(ccmode.Names(), ", "))
+			}
+			out = append(out, jobMode{mode: cm.Name()})
 		}
 	}
 	return out, nil

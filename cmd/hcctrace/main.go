@@ -19,7 +19,8 @@ import (
 
 func main() {
 	app := flag.String("app", "2mm", "application to run (see -list)")
-	cc := flag.Bool("cc", false, "enable confidential computing (run in a TD)")
+	cc := flag.Bool("cc", false, "enable confidential computing (run in a TD); deprecated alias for -mode tdx-h100")
+	ccMode := flag.String("mode", "", "protection mode: off, tdx-h100, tee-io-direct, tee-io-bridge (optionally +pipelined); overrides -cc")
 	uvm := flag.Bool("uvm", false, "use the UVM (cudaMallocManaged) variant")
 	events := flag.Bool("events", false, "dump every trace event")
 	jsonOut := flag.String("json", "", "write the full trace as JSON to this file ('-' for stdout)")
@@ -50,7 +51,19 @@ func main() {
 		}
 		mode = workloads.UVM
 	}
-	res := workloads.Execute(spec, mode, cuda.DefaultConfig(*cc))
+	name := *ccMode
+	if name == "" {
+		name = "off"
+		if *cc {
+			name = "tdx-h100"
+		}
+	}
+	cfg, err := cuda.NewConfig(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcctrace:", err)
+		os.Exit(1)
+	}
+	res := workloads.Execute(spec, mode, cfg)
 	rt := res.Runtime
 
 	if *jsonOut != "" {
@@ -95,9 +108,11 @@ func main() {
 			100*u.Copy, 100*u.Launch, 100*u.Kernel, 100*u.Fault, 100*u.Mgmt)
 	}
 
-	modeStr := "CC-off (legacy VM)"
-	if *cc {
-		modeStr = "CC-on (trust domain)"
+	modeStr := "mode " + rt.Mode().Name()
+	if rt.CC() {
+		modeStr += " (trust domain)"
+	} else {
+		modeStr += " (legacy VM)"
 	}
 	fmt.Printf("%s [%s, %s]: end-to-end %v\n", spec.Name, mode, modeStr, res.End)
 	m := rt.Metrics()

@@ -23,11 +23,11 @@ func main() {
 			batch int
 			prec  string
 		}{{64, "fp32"}, {1024, "fp32"}, {1024, "fp16"}} {
-			base, err := hccsim.TrainCNN(name, cfg.batch, cfg.prec, false)
+			base, err := hccsim.TrainCNNMode(name, cfg.batch, cfg.prec, "off")
 			if err != nil {
 				panic(err)
 			}
-			cc, err := hccsim.TrainCNN(name, cfg.batch, cfg.prec, true)
+			cc, err := hccsim.TrainCNNMode(name, cfg.batch, cfg.prec, "tdx-h100")
 			if err != nil {
 				panic(err)
 			}
@@ -42,7 +42,7 @@ func main() {
 		batch int
 		prec  string
 	}{{64, "fp32"}, {1024, "fp32"}, {1024, "amp"}, {1024, "fp16"}} {
-		r, err := hccsim.TrainCNN("resnet50", cfg.batch, cfg.prec, true)
+		r, err := hccsim.TrainCNNMode("resnet50", cfg.batch, cfg.prec, "tdx-h100")
 		if err != nil {
 			panic(err)
 		}

@@ -34,9 +34,16 @@ func pipeline(fuse int) []hccsim.KernelSpec {
 	return specs
 }
 
-func runLoop(cc bool, fuse int) time.Duration {
-	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
-	return sys.Run(func(c *hccsim.Context) {
+func newSystem(mode string) *hccsim.System {
+	cfg, err := hccsim.NewConfig(mode)
+	if err != nil {
+		panic(err)
+	}
+	return hccsim.NewSystem(cfg)
+}
+
+func runLoop(mode string, fuse int) time.Duration {
+	return newSystem(mode).Run(func(c *hccsim.Context) {
 		for _, s := range pipeline(fuse) {
 			c.Launch(s, nil)
 		}
@@ -44,9 +51,8 @@ func runLoop(cc bool, fuse int) time.Duration {
 	})
 }
 
-func runGraph(cc bool) time.Duration {
-	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
-	return sys.Run(func(c *hccsim.Context) {
+func runGraph(mode string) time.Duration {
+	return newSystem(mode).Run(func(c *hccsim.Context) {
 		g := c.GraphCreate(pipeline(1))
 		g.Launch(nil)
 		c.Sync()
@@ -58,12 +64,12 @@ func main() {
 		pieces, pieceKET, pieces*pieceKET)
 	fmt.Printf("%-22s %12s %12s %8s\n", "strategy", "CC-off", "CC-on", "cc/base")
 	for _, fuse := range []int{1, 4, 16, 64, 256} {
-		base := runLoop(false, fuse)
-		cc := runLoop(true, fuse)
+		base := runLoop("off", fuse)
+		cc := runLoop("tdx-h100", fuse)
 		label := fmt.Sprintf("fuse %3dx (%3d launches)", fuse, pieces/fuse)
 		fmt.Printf("%-22s %12v %12v %7.2fx\n", label, base, cc, float64(cc)/float64(base))
 	}
-	gb, gc := runGraph(false), runGraph(true)
+	gb, gc := runGraph("off"), runGraph("tdx-h100")
 	fmt.Printf("%-22s %12v %12v %7.2fx\n", "cudaGraph (1 submit)", gb, gc, float64(gc)/float64(gb))
 	fmt.Println("\nmoderate fusion wins; full fusion pays a large module upload,")
 	fmt.Println("and the sweet spot shifts under CC (Observation 7).")

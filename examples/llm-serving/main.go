@@ -1,20 +1,26 @@
 // LLM serving under CC (Fig. 14): Llama-3-8B decode throughput across
 // serving backends (HuggingFace eager vs vLLM), weight formats (BF16 vs
-// 4-bit AWQ) and CC modes. The serving backend dominates; vLLM stays ahead
-// even with CC on, and quantization helps until the dequantization tax
-// outweighs the memory savings at large batch.
+// 4-bit AWQ) and protection modes. The serving backend dominates; vLLM
+// stays ahead even with protection on, and quantization helps until the
+// dequantization tax outweighs the memory savings at large batch.
+//
+// The -mode flag picks which protection mode to compare against off:
+//
+//	go run ./examples/llm-serving -mode tee-io-bridge
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"hccsim"
 )
 
-// serve runs one configuration, exiting on invalid backend/quant names.
-func serve(backend, quant string, batch int, cc bool) hccsim.LLMResult {
-	r, err := hccsim.ServeLLM(backend, quant, batch, cc)
+// serve runs one configuration, exiting on invalid backend/quant/mode names.
+func serve(backend, quant string, batch int, mode string) hccsim.LLMResult {
+	r, err := hccsim.ServeLLMMode(backend, quant, batch, mode)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,22 +28,26 @@ func serve(backend, quant string, batch int, cc bool) hccsim.LLMResult {
 }
 
 func main() {
+	ccMode := flag.String("mode", "tdx-h100",
+		"protection mode to compare against off: "+strings.Join(hccsim.Modes(), ", ")+" (optionally +pipelined)")
+	flag.Parse()
+
 	batches := []int{1, 8, 16, 32, 64, 128}
-	fmt.Println("Llama-3-8B decode throughput (tokens/s), simulated H100 behind TDX")
+	modes := []string{"off", *ccMode}
+	fmt.Printf("Llama-3-8B decode throughput (tokens/s), simulated H100, off vs %s\n", *ccMode)
 
 	for _, backend := range []string{"hf", "vllm"} {
 		fmt.Printf("\n%s backend:\n", backend)
-		fmt.Printf("  %-18s", "config")
+		fmt.Printf("  %-28s", "config")
 		for _, b := range batches {
 			fmt.Printf(" %8s", fmt.Sprintf("b=%d", b))
 		}
 		fmt.Println()
 		for _, quant := range []string{"bf16", "awq"} {
-			for _, cc := range []bool{false, true} {
-				label := fmt.Sprintf("%s cc-%v", quant, onOff(cc))
-				fmt.Printf("  %-18s", label)
+			for _, mode := range modes {
+				fmt.Printf("  %-28s", quant+" "+mode)
 				for _, b := range batches {
-					r := serve(backend, quant, b, cc)
+					r := serve(backend, quant, b, mode)
 					fmt.Printf(" %8.0f", r.TokensPerSec)
 				}
 				fmt.Println()
@@ -45,24 +55,18 @@ func main() {
 		}
 	}
 
-	fmt.Println("\nspeedup of vLLM over the HF/BF16/CC-off baseline (the Fig. 14 metric):")
+	fmt.Println("\nspeedup of vLLM over the HF/BF16/off baseline (the Fig. 14 metric):")
 	for _, quant := range []string{"bf16", "awq"} {
-		for _, cc := range []bool{false, true} {
-			fmt.Printf("  %-18s", fmt.Sprintf("%s cc-%v vllm", quant, onOff(cc)))
+		for _, mode := range modes {
+			fmt.Printf("  %-28s", fmt.Sprintf("%s %s vllm", quant, mode))
 			for _, b := range batches {
-				base := serve("hf", "bf16", b, false)
-				v := serve("vllm", quant, b, cc)
+				base := serve("hf", "bf16", b, "off")
+				v := serve("vllm", quant, b, mode)
 				fmt.Printf(" %8.2f", v.TokensPerSec/base.TokensPerSec)
 			}
 			fmt.Println()
 		}
 	}
-	fmt.Println("\nall values stay above 1: the backend choice matters more than CC.")
-}
-
-func onOff(b bool) string {
-	if b {
-		return "on"
-	}
-	return "off"
+	fmt.Println("\nall values stay above 1: the backend choice matters more than the")
+	fmt.Println("protection mode.")
 }

@@ -15,9 +15,12 @@ import (
 
 const transfer = int64(1) << 30
 
-func run(cc, nvlink bool) (time.Duration, uint64, int64) {
+func run(mode string, nvlink bool) (time.Duration, uint64, int64) {
 	eng := sim.NewEngine()
-	cfg := cuda.DefaultConfig(cc)
+	cfg, err := cuda.NewConfig(mode)
+	if err != nil {
+		panic(err)
+	}
 	rt := cuda.New(eng, cfg)
 	rt.AddDevice(cfg.PCIe, cfg.HBM, cfg.GPU)
 	if nvlink {
@@ -41,15 +44,16 @@ func main() {
 	fmt.Printf("moving a %d GiB tensor from GPU 0 to GPU 1\n\n", transfer>>30)
 	fmt.Printf("%-22s %12s %12s %14s %16s\n", "path", "time", "GB/s", "hypercalls", "cipher bytes")
 	for _, cfg := range []struct {
-		name       string
-		cc, nvlink bool
+		name   string
+		mode   string
+		nvlink bool
 	}{
-		{"PCIe staged, CC-off", false, false},
-		{"PCIe staged, CC-on", true, false},
-		{"NVLink, CC-off", false, true},
-		{"NVLink, CC-on", true, true},
+		{"PCIe staged, CC-off", "off", false},
+		{"PCIe staged, CC-on", "tdx-h100", false},
+		{"NVLink, CC-off", "off", true},
+		{"NVLink, CC-on", "tdx-h100", true},
 	} {
-		total, hypercalls, crypted := run(cfg.cc, cfg.nvlink)
+		total, hypercalls, crypted := run(cfg.mode, cfg.nvlink)
 		gbps := float64(transfer) / total.Seconds() / 1e9
 		fmt.Printf("%-22s %12v %12.1f %14d %13.1f GiB\n",
 			cfg.name, total.Round(time.Microsecond), gbps, hypercalls,

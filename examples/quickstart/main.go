@@ -35,16 +35,20 @@ func main() {
 
 	fmt.Println("quickstart: 256 MiB in/out, 3 kernels, H100-class GPU behind PCIe 5.0")
 	var totals [2]time.Duration
-	for i, cc := range []bool{false, true} {
-		sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
+	for i, mode := range []string{"off", "tdx-h100"} {
+		cfg, err := hccsim.NewConfig(mode)
+		if err != nil {
+			panic(err)
+		}
+		sys := hccsim.NewSystem(cfg)
 		elapsed := sys.Run(app)
 		totals[i] = elapsed
-		mode := "CC-off (legacy VM)  "
-		if cc {
-			mode = "CC-on  (trust domain)"
+		label := "off      (legacy VM)  "
+		if sys.CC() {
+			label = "tdx-h100 (trust domain)"
 		}
 		m := sys.Model()
-		fmt.Printf("\n%s  end-to-end %v\n", mode, elapsed)
+		fmt.Printf("\n%s  end-to-end %v\n", label, elapsed)
 		fmt.Printf("  %s\n", m)
 	}
 	fmt.Printf("\nconfidential computing cost this application %.2fx.\n",

@@ -13,8 +13,12 @@ import (
 
 const transfer = int64(512) << 20
 
-func run(cc bool, streams int, ket time.Duration) (time.Duration, float64) {
-	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
+func run(mode string, streams int, ket time.Duration) (time.Duration, float64) {
+	cfg, err := hccsim.NewConfig(mode)
+	if err != nil {
+		panic(err)
+	}
+	sys := hccsim.NewSystem(cfg)
 	total := sys.Run(func(c *hccsim.Context) {
 		chunk := transfer / int64(streams)
 		h := c.MallocHost("h", chunk)
@@ -39,8 +43,8 @@ func main() {
 		fmt.Printf("kernel duration %v:\n", ket)
 		fmt.Printf("  %8s %14s %10s %14s %10s\n", "streams", "CC-off", "alpha", "CC-on", "alpha")
 		for _, s := range []int{1, 4, 16, 64} {
-			bt, ba := run(false, s, ket)
-			ct, ca := run(true, s, ket)
+			bt, ba := run("off", s, ket)
+			ct, ca := run("tdx-h100", s, ket)
 			fmt.Printf("  %8d %14v %10.2f %14v %10.2f\n", s, bt, ba, ct, ca)
 		}
 		fmt.Println()

@@ -37,8 +37,12 @@ func managed(c *hccsim.Context) {
 	c.Free(m)
 }
 
-func run(name string, cc bool, app func(*hccsim.Context)) (time.Duration, time.Duration) {
-	sys := hccsim.NewSystem(hccsim.DefaultConfig(cc))
+func run(name, mode string, app func(*hccsim.Context)) (time.Duration, time.Duration) {
+	cfg, err := hccsim.NewConfig(mode)
+	if err != nil {
+		panic(err)
+	}
+	sys := hccsim.NewSystem(cfg)
 	total := sys.Run(app)
 	ket := sys.Metrics().KET
 	fmt.Printf("  %-22s total %-14v kernel (KET) %v\n", name, total, ket)
@@ -48,14 +52,14 @@ func run(name string, cc bool, app func(*hccsim.Context)) (time.Duration, time.D
 func main() {
 	fmt.Printf("one %s kernel over a %d MiB working set:\n\n", kernelNm, footprint>>20)
 	fmt.Println("explicit copies (copy-then-execute):")
-	_, ketBase := run("CC-off", false, explicit)
-	_, ketCC := run("CC-on", true, explicit)
+	_, ketBase := run("CC-off", "off", explicit)
+	_, ketCC := run("CC-on", "tdx-h100", explicit)
 	fmt.Printf("  -> KET unchanged under CC (%.2fx): the SMs never talk to the host\n\n",
 		float64(ketCC)/float64(ketBase))
 
 	fmt.Println("unified virtual memory (cudaMallocManaged):")
-	_, ketUVM := run("CC-off", false, managed)
-	_, ketUVMCC := run("CC-on", true, managed)
+	_, ketUVM := run("CC-off", "off", managed)
+	_, ketUVMCC := run("CC-on", "tdx-h100", managed)
 	fmt.Printf("\nUVM kernel slowdown vs the non-UVM baseline:\n")
 	fmt.Printf("  CC-off: %6.1fx   (fault batches + page migration)\n", float64(ketUVM)/float64(ketBase))
 	fmt.Printf("  CC-on:  %6.1fx   (encrypted paging: per-batch hypercalls,\n", float64(ketUVMCC)/float64(ketBase))

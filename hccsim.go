@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"hccsim/internal/batch"
+	"hccsim/internal/ccmode"
 	"hccsim/internal/core"
 	"hccsim/internal/cuda"
 	"hccsim/internal/figures"
@@ -86,6 +87,14 @@ type (
 // NVL over PCIe 5.0) with confidential computing on or off.
 func DefaultConfig(cc bool) Config { return cuda.DefaultConfig(cc) }
 
+// NewConfig returns the Table I system under a named protection mode:
+// "off", "tdx-h100", "tee-io-direct", "tee-io-bridge", each optionally
+// suffixed "+pipelined" (see Modes).
+func NewConfig(mode string) (Config, error) { return cuda.NewConfig(mode) }
+
+// Modes lists the canonical protection-mode names.
+func Modes() []string { return ccmode.Names() }
+
 // System is one simulated guest (legacy VM or TD) with a GPU attached.
 type System struct {
 	eng *sim.Engine
@@ -101,6 +110,9 @@ func NewSystem(cfg Config) *System {
 
 // CC reports whether the system runs in confidential-computing mode.
 func (s *System) CC() bool { return s.rt.CC() }
+
+// Mode returns the canonical name of the system's protection mode.
+func (s *System) Mode() string { return s.rt.Mode().Name() }
 
 // Run executes app as the host program and returns the simulated elapsed
 // time. Run may be called once per System — the engine, trace and device
@@ -132,13 +144,21 @@ func (s *System) Tracer() *trace.Tracer { return s.rt.Tracer() }
 // (call-stack reports, substrate statistics).
 func (s *System) Runtime() *cuda.Runtime { return s.rt }
 
-// CompareModes runs the same application CC-off and CC-on and returns both
-// fitted models plus the component-wise CC/base ratios.
+// CompareModes runs the same application unprotected and protected and
+// returns both fitted models plus the component-wise protected/base ratios.
+// The protected run uses cfg's own protection mode when it resolves to a CC
+// mode, and tdx-h100 otherwise, so a cfg prepared for any protected mode
+// compares that mode against its off baseline.
 func CompareModes(cfg Config, app func(c *Context)) (base, cc Model, ratio core.Ratio) {
 	off := cfg
+	off.Mode = ""
 	off.CC = false
+	off.TDX.TEEIO = false
 	on := cfg
-	on.CC = true
+	if m, err := on.ResolveMode(); err != nil || !m.CC() {
+		on.Mode = ""
+		on.CC = true
+	}
 	sb := NewSystem(off)
 	sb.Run(app)
 	sc := NewSystem(on)
@@ -158,6 +178,19 @@ func WorkloadByName(name string) (Workload, error) { return workloads.ByName(nam
 // RunWorkload executes a named application and returns its fitted model.
 // uvm selects the managed-memory variant where the app supports it.
 func RunWorkload(name string, uvm, cc bool) (Model, error) {
+	return runWorkloadWith(name, uvm, cuda.DefaultConfig(cc))
+}
+
+// RunWorkloadMode is RunWorkload under a named protection mode.
+func RunWorkloadMode(name string, uvm bool, ccMode string) (Model, error) {
+	cfg, err := cuda.NewConfig(ccMode)
+	if err != nil {
+		return Model{}, err
+	}
+	return runWorkloadWith(name, uvm, cfg)
+}
+
+func runWorkloadWith(name string, uvm bool, cfg Config) (Model, error) {
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return Model{}, err
@@ -166,7 +199,7 @@ func RunWorkload(name string, uvm, cc bool) (Model, error) {
 	if uvm {
 		mode = workloads.UVM
 	}
-	res := workloads.Execute(spec, mode, cuda.DefaultConfig(cc))
+	res := workloads.Execute(spec, mode, cfg)
 	return core.Decompose(res.Runtime.Tracer()), nil
 }
 
@@ -190,6 +223,22 @@ func TrainCNN(model string, batch int, precision string, cc bool) (nn.TrainResul
 	return nn.TrainSimulate(nn.TrainConfig{Model: m, Batch: batch, Precision: prec, CC: cc}), nil
 }
 
+// TrainCNNMode is TrainCNN under a named protection mode.
+func TrainCNNMode(model string, batch int, precision, ccMode string) (nn.TrainResult, error) {
+	m, err := nn.ModelByName(model)
+	if err != nil {
+		return nn.TrainResult{}, err
+	}
+	prec, err := nn.PrecisionByName(precision)
+	if err != nil {
+		return nn.TrainResult{}, &UnknownPrecisionError{Precision: precision}
+	}
+	if _, err := ccmode.ByName(ccMode); err != nil {
+		return nn.TrainResult{}, err
+	}
+	return nn.TrainSimulate(nn.TrainConfig{Model: m, Batch: batch, Precision: prec, Mode: ccMode}), nil
+}
+
 // ServeLLM runs one Fig. 14 inference configuration (backend "hf" or
 // "vllm"; quant "bf16" or "awq"). Unknown backend or quantization names are
 // errors (UnknownBackendError / UnknownQuantError), not silent defaults.
@@ -203,6 +252,22 @@ func ServeLLM(backend, quant string, batch int, cc bool) (nn.LLMResult, error) {
 		return nn.LLMResult{}, &UnknownQuantError{Quant: quant}
 	}
 	return nn.LLMSimulate(nn.LLMConfig{Backend: b, Quant: q, Batch: batch, CC: cc}), nil
+}
+
+// ServeLLMMode is ServeLLM under a named protection mode.
+func ServeLLMMode(backend, quant string, batch int, ccMode string) (nn.LLMResult, error) {
+	b, err := nn.BackendByName(backend)
+	if err != nil {
+		return nn.LLMResult{}, &UnknownBackendError{Backend: backend}
+	}
+	q, err := nn.QuantByName(quant)
+	if err != nil {
+		return nn.LLMResult{}, &UnknownQuantError{Quant: quant}
+	}
+	if _, err := ccmode.ByName(ccMode); err != nil {
+		return nn.LLMResult{}, err
+	}
+	return nn.LLMSimulate(nn.LLMConfig{Backend: b, Quant: q, Batch: batch, Mode: ccMode}), nil
 }
 
 // RunJobs executes a batch of sweep jobs on a bounded worker pool with

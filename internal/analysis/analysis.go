@@ -100,6 +100,7 @@ var DeterministicPackages = map[string]bool{
 	"hccsim/internal/sim":        true,
 	"hccsim/internal/sim/eventq": true,
 	"hccsim/internal/core":       true,
+	"hccsim/internal/ccmode":     true,
 	"hccsim/internal/batch":      true,
 	"hccsim/internal/figures":    true,
 	"hccsim/internal/uvm":        true,

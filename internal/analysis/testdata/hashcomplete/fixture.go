@@ -63,6 +63,23 @@ func (w WithSealed) Key() string {
 	return string(b)
 }
 
+// ModedConfig mirrors the real system config after the protection-mode
+// refactor: the mode selector is a plain string next to the deprecated CC
+// boolean. Dropping it from the encoding — as the json:"-" tag and the
+// unexported shadow do here — is exactly the omission that would make an
+// "off" and a "tee-io-bridge" sweep share cached results.
+type ModedConfig struct {
+	CC       bool
+	Mode     string `json:"-"` // want `json:"-"`
+	modeImpl string // want `unexported`
+}
+
+// Key hashes the mode-bearing config — both dropped fields are flagged.
+func (m ModedConfig) Key() (string, error) {
+	b, err := json.Marshal(m)
+	return string(b), err
+}
+
 // Logged is only marshaled outside a Key function; its dropped field is
 // not a cache hazard and is not flagged.
 type Logged struct {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/core"
 	"hccsim/internal/tab"
 )
@@ -57,52 +58,94 @@ func SweepTable(results []Result) tab.Table {
 	return t
 }
 
-// RatioTable pairs results that differ only in CC mode and reports
-// component-wise CC/base ratios — the sweep-level analogue of the
-// normalized bars of Figs. 5-7. Unpaired or model-less results are skipped.
+// RatioTable pairs results that differ only in protection mode and reports
+// component-wise protected/base ratios — the sweep-level analogue of the
+// normalized bars of Figs. 5-7. Legacy CC-boolean pairs keep their original
+// one-row-per-point form; named-mode jobs produce one row per protected
+// mode, each against the point's unprotected sibling. Unpaired or
+// model-less results are skipped.
 func RatioTable(results []Result) tab.Table {
 	t := tab.Table{
 		ID:      "sweep-ratio",
 		Title:   "CC/base component ratios per sweep point",
 		Columns: []string{"job", "tmem", "klo", "lqt", "kqt", "ket", "alloc", "free", "total"},
 	}
-	type pair struct{ base, cc *core.Model }
-	pairs := make(map[string]*pair)
+	type entry struct {
+		label string
+		model *core.Model
+	}
+	type group struct {
+		base *core.Model
+		prot []entry
+	}
+	groups := make(map[string]*group)
 	var order []string
 	for i := range results {
 		r := &results[i]
 		if r.Err != nil || r.Payload.Model == nil {
 			continue
 		}
+		cc, mode := jobCCMode(r.Job)
 		key := pairKey(r.Job)
-		p, ok := pairs[key]
+		g, ok := groups[key]
 		if !ok {
-			p = &pair{}
-			pairs[key] = p
+			g = &group{}
+			groups[key] = g
 			order = append(order, key)
 		}
-		if r.Job.CC {
-			p.cc = r.Payload.Model
-		} else {
-			p.base = r.Payload.Model
+		if !cc {
+			g.base = r.Payload.Model
+			continue
+		}
+		label := key
+		if mode != "" {
+			label = key + "/" + mode
+		}
+		replaced := false
+		for e := range g.prot {
+			if g.prot[e].label == label {
+				g.prot[e].model = r.Payload.Model
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			g.prot = append(g.prot, entry{label: label, model: r.Payload.Model})
 		}
 	}
 	for _, key := range order {
-		p := pairs[key]
-		if p.base == nil || p.cc == nil {
+		g := groups[key]
+		if g.base == nil {
 			continue
 		}
-		ratio := core.Compare(*p.base, *p.cc)
-		t.AddRow(key, ratio.Tmem, ratio.KLO, ratio.LQT, ratio.KQT, ratio.KET,
-			ratio.Alloc, ratio.Free, ratio.Total)
+		for _, e := range g.prot {
+			ratio := core.Compare(*g.base, *e.model)
+			t.AddRow(e.label, ratio.Tmem, ratio.KLO, ratio.LQT, ratio.KQT, ratio.KET,
+				ratio.Alloc, ratio.Free, ratio.Total)
+		}
 	}
 	return t
 }
 
-// pairKey is the job label with the cc/base mode segment removed, so the
-// two modes of one sweep point collide.
+// jobCCMode classifies a job for ratio pairing: whether it runs protected,
+// and the mode-name label segment ("" for the legacy CC-boolean spelling,
+// whose rows keep their original unsuffixed labels).
+func jobCCMode(j Job) (cc bool, label string) {
+	if j.Mode == "" {
+		return j.CC, ""
+	}
+	m, err := ccmode.ByName(j.Mode)
+	if err != nil {
+		return j.CC, j.Mode
+	}
+	return m.CC(), m.Name()
+}
+
+// pairKey is the job label with the protection-mode segment removed, so all
+// modes of one sweep point collide.
 func pairKey(j Job) string {
 	j.CC = false
+	j.Mode = ""
 	return strings.Replace(j.Label(), "/base", "", 1)
 }
 

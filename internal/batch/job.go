@@ -68,7 +68,15 @@ type Job struct {
 
 	// CC selects confidential-computing mode (ignored for figure jobs,
 	// which fix their own modes internally).
+	//
+	// Deprecated: CC is the boolean spelling of the protection switch; it
+	// is consulted only when Mode is empty. New jobs should set Mode.
 	CC bool
+
+	// Mode names the protection mode (ccmode.ByName) the job runs under;
+	// it takes precedence over the deprecated CC boolean. Empty keeps the
+	// legacy CC spelling.
+	Mode string `json:",omitempty"`
 
 	// Overrides patch named parameters of the default config, in order.
 	Overrides []Override `json:",omitempty"`
@@ -120,9 +128,13 @@ func (j Job) Label() string {
 		fmt.Fprintf(&b, "invalid(%s)", j.Kind)
 	}
 	if j.Kind != KindFigure {
-		if j.CC {
+		switch {
+		case j.Mode != "":
+			b.WriteString("/")
+			b.WriteString(j.Mode)
+		case j.CC:
 			b.WriteString("/cc")
-		} else {
+		default:
 			b.WriteString("/base")
 		}
 	}
@@ -145,7 +157,7 @@ func (j Job) Validate() error {
 		if j.Figure == "" {
 			return fmt.Errorf("batch: figure job without a figure id")
 		}
-		if len(j.Overrides) > 0 || j.Config != nil {
+		if len(j.Overrides) > 0 || j.Config != nil || j.Mode != "" {
 			return fmt.Errorf("batch: figure %s takes no config overrides (figures fix their own configurations)", j.Figure)
 		}
 	case KindCNN:
@@ -159,28 +171,56 @@ func (j Job) Validate() error {
 	default:
 		return fmt.Errorf("batch: unknown job kind %q", j.Kind)
 	}
-	cfg := cuda.DefaultConfig(j.CC)
-	for _, o := range j.Overrides {
-		if err := ApplyOverride(&cfg, o.Param, o.Value); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := j.EffectiveConfig()
+	return err
 }
 
 // EffectiveConfig resolves the full system configuration the job runs under:
-// the base config (Config or DefaultConfig(CC)) with Overrides applied.
+// the base config (Config or DefaultConfig(CC)), Mode applied on top, then
+// Overrides in order, and finally normalized so every spelling of the same
+// protection mode (alias names, the legacy CC boolean, the deprecated
+// TDX.TEEIO flag) hashes and runs identically.
 func (j Job) EffectiveConfig() (cuda.Config, error) {
 	cfg := cuda.DefaultConfig(j.CC)
 	if j.Config != nil {
 		cfg = *j.Config
+	}
+	if j.Mode != "" {
+		cfg.Mode = j.Mode
 	}
 	for _, o := range j.Overrides {
 		if err := ApplyOverride(&cfg, o.Param, o.Value); err != nil {
 			return cfg, err
 		}
 	}
-	return cfg, nil
+	return cfg.Normalize()
+}
+
+// GridModes expands every job once per protection-mode name — the cc.mode
+// sweep axis of cmd/hccsweep. Setting Mode supersedes the legacy CC flag,
+// so jobs that differed only in CC (the default cc/base pair) collapse to
+// the same cache key; GridModes drops those duplicates (first occurrence
+// wins) — otherwise whether a duplicate reports Cached depends on worker
+// scheduling and sweep output stops being byte-identical across -parallel
+// levels. Jobs whose key cannot be computed are kept for Validate to
+// report.
+func GridModes(jobs []Job, modes []string) []Job {
+	out := make([]Job, 0, len(jobs)*len(modes))
+	seen := make(map[string]bool, len(jobs)*len(modes))
+	for _, j := range jobs {
+		for _, m := range modes {
+			nj := j
+			nj.Mode = m
+			if key, err := nj.Key(); err == nil {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			out = append(out, nj)
+		}
+	}
+	return out
 }
 
 // Grid expands every job once per value of the named parameter — the

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/cuda"
 )
 
@@ -131,11 +132,16 @@ func OverrideNames() []string {
 	return out
 }
 
+// ModeAxis is the reserved axis name sweeping the protection mode itself.
+const ModeAxis = "cc.mode"
+
 // Axis is one sweep dimension: a canonical "Section.Field" parameter path
-// and the grid values it takes. Expand a job list over an axis with Grid.
+// and the grid values it takes (expand with Grid), or — when Param is
+// ModeAxis — a list of protection-mode names (expand with GridModes).
 type Axis struct {
 	Param  string
 	Values []float64
+	Modes  []string
 }
 
 // ParseAxis parses one "Name=v1,v2,..." grid-axis spec. The name may be a
@@ -147,6 +153,17 @@ func ParseAxis(s string) (Axis, error) {
 	name = strings.TrimSpace(name)
 	if !ok || name == "" || strings.TrimSpace(list) == "" {
 		return Axis{}, fmt.Errorf("batch: malformed axis %q: want Name=v1,v2,...", s)
+	}
+	if name == ModeAxis {
+		var modes []string
+		for _, f := range strings.Split(list, ",") {
+			m, err := ccmode.ByName(strings.TrimSpace(f))
+			if err != nil {
+				return Axis{}, fmt.Errorf("batch: axis %s: %v", ModeAxis, err)
+			}
+			modes = append(modes, m.Name())
+		}
+		return Axis{Param: ModeAxis, Modes: modes}, nil
 	}
 	param, err := Canonical(name)
 	if err != nil {

@@ -20,6 +20,9 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg := cuda.DefaultConfig(true)
 	counter := 1
 	perturb(t, reflect.ValueOf(&cfg).Elem(), "Config", &counter)
+	// Mode must be a resolvable name — Key normalizes the config — so pin it
+	// to a distinct non-default value instead of the walker's arbitrary string.
+	cfg.Mode = "tee-io-bridge+pipelined"
 
 	data, err := json.Marshal(cfg)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/figures"
 	"hccsim/internal/sim"
 )
@@ -70,7 +71,7 @@ func Collect(parallel int, date string) (Baseline, error) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), queuePutGet())
+	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), queuePutGet(), modeDispatch())
 	figs, counters, err := figureCampaign(parallel)
 	if err != nil {
 		return Baseline{}, err
@@ -151,6 +152,46 @@ func queuePutGet() Metric {
 		Name:   "queue_put_get",
 		Value:  n / elapsed,
 		Unit:   "ops/sec",
+		Better: HigherIsBetter,
+	}
+}
+
+// modeDispatch measures the protection-mode interface dispatch that
+// replaced the old `if cfg.CC` branches on the launch/fault hot paths.
+// Every kernel launch and fault batch goes through these virtual calls, so
+// the mode layer must stay branch-cheap; the gate catches a backend
+// growing per-call work (map lookups, allocations) on this path. It panics
+// if the registry or the dispatch itself is broken — harness setup errors,
+// not measurement outcomes.
+func modeDispatch() Metric {
+	const n = 2000000
+	modes := make([]ccmode.Mode, 0, len(ccmode.Names()))
+	for _, name := range ccmode.Names() {
+		m, err := ccmode.ByName(name)
+		if err != nil {
+			panic(err) // Names() entries always resolve
+		}
+		modes = append(modes, m)
+	}
+	var sink time.Duration
+	var sinkInt int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		m := modes[i%len(modes)]
+		sink += m.LaunchPost(600, 1050)
+		sinkInt += m.FaultBatch(64, 1) + m.FaultHypercalls(2)
+		if m.SoftwareCryptoPath() {
+			sinkInt++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if sink == 0 && sinkInt == 0 {
+		panic("bench: mode dispatch produced no work")
+	}
+	return Metric{
+		Name:   "mode_dispatch",
+		Value:  n / elapsed,
+		Unit:   "dispatches/sec",
 		Better: HigherIsBetter,
 	}
 }

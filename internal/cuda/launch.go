@@ -40,7 +40,7 @@ func (c *Context) Launch(spec gpu.KernelSpec, s *Stream) {
 		rt.moduleSeen[spec.Name] = true
 		c.uploadModule(spec)
 	}
-	if rt.pl.SoftwareCryptoPath() {
+	if rt.mode.SoftwareCryptoPath() {
 		c.p.Sleep(rt.params.LaunchEncSW) // AES-GCM over the command packet
 	}
 	c.p.Sleep(rt.params.DoorbellWrite)
@@ -60,11 +60,7 @@ func (c *Context) Launch(spec gpu.KernelSpec, s *Stream) {
 
 	// Deferred driver work after the API returns: fence bookkeeping and
 	// reaping, heavier under CC. This is gap time (LQT), not KLO.
-	if rt.CC() {
-		c.p.Sleep(rt.params.LaunchPostCC)
-	} else {
-		c.p.Sleep(rt.params.LaunchPostBase)
-	}
+	c.p.Sleep(rt.mode.LaunchPost(rt.params.LaunchPostBase, rt.params.LaunchPostCC))
 }
 
 // uploadModule transfers the kernel's SASS image to the device on first
@@ -120,7 +116,7 @@ func (g *Graph) Launch(s *Stream) {
 			c.uploadModule(spec)
 		}
 	}
-	if rt.pl.SoftwareCryptoPath() {
+	if rt.mode.SoftwareCryptoPath() {
 		// One packet covers the whole graph.
 		rt.pl.Encrypt(c.p, rt.params.CmdPacketBytes*int64(len(g.specs))/4)
 	}
@@ -139,11 +135,7 @@ func (g *Graph) Launch(s *Stream) {
 		done := s.ch.SubmitKernel(spec, seq, i > 0)
 		s.track(done)
 	}
-	if rt.CC() {
-		c.p.Sleep(rt.params.LaunchPostCC)
-	} else {
-		c.p.Sleep(rt.params.LaunchPostBase)
-	}
+	c.p.Sleep(rt.mode.LaunchPost(rt.params.LaunchPostBase, rt.params.LaunchPostCC))
 }
 
 // StackFrame is one level of the Fig. 8 launch call stack with its cost.
@@ -161,10 +153,17 @@ func (rt *Runtime) LaunchCallStack() []StackFrame {
 		{0, "cudaLaunchKernel", 0},
 		{1, "libcuda: cuLaunchKernel (marshal args, build pushbuffer)", p.LaunchSW},
 	}
-	if rt.CC() {
+	if rt.mode.SoftwareCryptoPath() {
 		frames = append(frames,
-			StackFrame{1, "openssl: AES-GCM encrypt command packet", rt.pl.CryptoTime(p.CmdPacketBytes)},
-			StackFrame{1, "doorbell store (shared WC mapping)", p.DoorbellWrite},
+			StackFrame{1, "openssl: AES-GCM encrypt command packet", rt.pl.CryptoTime(p.CmdPacketBytes)})
+	}
+	if rt.CC() {
+		frames = append(frames, StackFrame{1, "doorbell store (shared WC mapping)", p.DoorbellWrite})
+	} else {
+		frames = append(frames, StackFrame{1, "doorbell store (mapped BAR)", p.DoorbellWrite})
+	}
+	if rt.mode.MMIOTraps() {
+		frames = append(frames,
 			StackFrame{1, fmt.Sprintf("fence read via MMIO (1 in %d launches)", p.FenceInterval), 0},
 			StackFrame{2, "#VE handler", 0},
 			StackFrame{3, "tdx_hypercall (TDCALL -> SEAM)", rt.pl.Params().Hypercall / 2},
@@ -173,15 +172,9 @@ func (rt *Runtime) LaunchCallStack() []StackFrame {
 		)
 	} else {
 		frames = append(frames,
-			StackFrame{1, "doorbell store (mapped BAR)", p.DoorbellWrite},
-			StackFrame{1, fmt.Sprintf("fence read via MMIO (1 in %d launches)", p.FenceInterval), rt.pl.Params().MMIODirect},
-		)
+			StackFrame{1, fmt.Sprintf("fence read via MMIO (1 in %d launches)", p.FenceInterval), rt.pl.Params().MMIODirect})
 	}
-	frames = append(frames, StackFrame{1, "post-launch driver bookkeeping", func() time.Duration {
-		if rt.CC() {
-			return p.LaunchPostCC
-		}
-		return p.LaunchPostBase
-	}()})
+	frames = append(frames, StackFrame{1, "post-launch driver bookkeeping",
+		rt.mode.LaunchPost(p.LaunchPostBase, p.LaunchPostCC)})
 	return frames
 }

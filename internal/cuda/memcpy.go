@@ -97,7 +97,7 @@ func (c *Context) MemcpyAsync(dst, src *Buffer, bytes int64, s *Stream) {
 		return
 	}
 	c.p.Sleep(c.rt.params.AsyncCopySW)
-	if c.rt.pl.SoftwareCryptoPath() {
+	if c.rt.mode.SoftwareCryptoPath() {
 		c.rt.pl.Encrypt(c.p, c.rt.params.CmdPacketBytes) // command packet
 	}
 	done := s.ch.SubmitCopy(cl.kind, cl.dir, bytes, cl.pinned)

@@ -106,7 +106,7 @@ func (c *Context) Malloc(label string, size int64) *Buffer {
 	rt := c.rt
 	c.p.Sleep(rt.params.MallocSW)
 	c.mmio(rt.params.MallocMMIOs)
-	if rt.CC() {
+	if rt.mode.PrivateAllocs() {
 		c.p.Sleep(perMB(rt.params.MallocPerMBCC, size))
 		rt.pl.AcceptPrivate(c.p, minI64(size/64, 128<<10)) // driver control structures
 	} else {
@@ -131,13 +131,13 @@ func (c *Context) MallocHost(label string, size int64) *Buffer {
 	rt := c.rt
 	c.p.Sleep(rt.params.HostAllocSW)
 	c.mmio(rt.params.HostAllocMMIOs)
-	if rt.CC() {
+	if !rt.mode.HostPinWorks() {
 		c.p.Sleep(perMB(rt.params.HostAllocPerMBCC, size))
 	} else {
 		c.p.Sleep(perMB(rt.params.HostAllocPerMB, size))
 	}
 	b := &Buffer{ctx: c, kind: PinnedHost, size: size, label: label}
-	c.record(trace.KindAlloc, "cudaMallocHost", start, size, rt.CC())
+	c.record(trace.KindAlloc, "cudaMallocHost", start, size, !rt.mode.HostPinWorks())
 	return b
 }
 
@@ -155,7 +155,7 @@ func (c *Context) MallocManaged(label string, size int64) *Buffer {
 	rt := c.rt
 	c.p.Sleep(rt.params.ManagedAllocSW)
 	c.mmio(rt.params.ManagedAllocMMIOs)
-	if rt.CC() {
+	if rt.mode.PrivateAllocs() {
 		c.p.Sleep(perMB(rt.params.ManagedAllocPerMBCC, size))
 	} else {
 		c.p.Sleep(perMB(rt.params.ManagedAllocPerMB, size))
@@ -177,7 +177,7 @@ func (c *Context) Free(b *Buffer) {
 	c.mmio(rt.params.FreeMMIOs)
 	switch b.kind {
 	case DeviceMem:
-		if rt.CC() {
+		if rt.mode.PrivateAllocs() {
 			c.p.Sleep(perMB(rt.params.FreePerMBCC, b.size))
 			rt.pl.ScrubPrivate(c.p, minI64(b.size/16, 1<<20))
 		} else {
@@ -192,7 +192,7 @@ func (c *Context) Free(b *Buffer) {
 		}
 	case ManagedMem:
 		resBytes := b.rng.ResidentPages() * rt.dev.UVM().Params().PageBytes
-		if rt.CC() {
+		if rt.mode.PrivateAllocs() {
 			c.p.Sleep(perMB(rt.params.ManagedFreePerResMBCC, resBytes))
 			c.p.Sleep(perMB(rt.params.FreePerMBCC, b.size) / 4)
 		} else {
@@ -222,13 +222,13 @@ func (c *Context) FreeHost(b *Buffer) {
 	rt := c.rt
 	c.p.Sleep(rt.params.FreeSW)
 	c.mmio(rt.params.FreeMMIOs / 2)
-	if rt.CC() {
+	if !rt.mode.HostPinWorks() {
 		c.p.Sleep(perMB(rt.params.FreePerMBCC, b.size) / 2)
 	} else {
 		c.p.Sleep(perMB(rt.params.FreePerMB, b.size))
 	}
 	b.freed = true
-	c.record(trace.KindFree, "cudaFreeHost", start, b.size, rt.CC())
+	c.record(trace.KindFree, "cudaFreeHost", start, b.size, !rt.mode.HostPinWorks())
 }
 
 // Prefetch is cudaMemPrefetchAsync followed by a stream sync: it migrates

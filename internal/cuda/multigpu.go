@@ -86,7 +86,7 @@ func (c *Context) MallocOn(devID int, label string, size int64) *Buffer {
 	start := int64(c.p.Now())
 	c.p.Sleep(rt.params.MallocSW)
 	c.mmio(rt.params.MallocMMIOs)
-	if rt.CC() {
+	if rt.mode.PrivateAllocs() {
 		c.p.Sleep(perMB(rt.params.MallocPerMBCC, size))
 		rt.pl.AcceptPrivate(c.p, minI64(size/64, 128<<10))
 	} else {
@@ -147,7 +147,7 @@ func (c *Context) MemcpyPeer(dst, src *Buffer, bytes int64) {
 	// platform decrypts the D2H leg and re-encrypts the H2D leg.
 	srcDev.TransferHD(c.p, pcie.D2H, bytes, true)
 	dstDev.TransferHD(c.p, pcie.H2D, bytes, true)
-	c.record(trace.KindMemcpyD2D, "cudaMemcpyPeer[host-staged]", start, bytes, rt.CC())
+	c.record(trace.KindMemcpyD2D, "cudaMemcpyPeer[host-staged]", start, bytes, rt.mode.CC())
 }
 
 // waitFor lets the sim clock advance in host code paths that need it.

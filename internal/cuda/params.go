@@ -3,6 +3,7 @@ package cuda
 import (
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/gpu"
 	"hccsim/internal/hbm"
 	"hccsim/internal/pcie"
@@ -142,7 +143,17 @@ func DefaultParams() Params {
 
 // Config assembles every layer's parameters for one simulated system.
 type Config struct {
-	CC   bool
+	// CC is the original boolean protection switch.
+	//
+	// Deprecated: CC is kept as a thin alias for existing call sites; it is
+	// consulted only when Mode is empty, where ccmode.Legacy resolves it
+	// (together with the deprecated TDX.TEEIO flag) to a protection mode.
+	// New code should set Mode.
+	CC bool
+	// Mode names the protection mode (see ccmode.Names and ccmode.ByName:
+	// "off", "tdx-h100", "tee-io-direct", "tee-io-bridge", each optionally
+	// "+pipelined"). Empty falls back to the deprecated CC flag.
+	Mode string
 	TDX  tdx.Params
 	PCIe pcie.Params
 	HBM  hbm.Params
@@ -151,10 +162,9 @@ type Config struct {
 	Host Params
 }
 
-// DefaultConfig returns the paper's Table I system with CC on or off.
-func DefaultConfig(cc bool) Config {
+// baseConfig returns the paper's Table I system with no mode selected.
+func baseConfig() Config {
 	return Config{
-		CC:   cc,
 		TDX:  tdx.DefaultParams(),
 		PCIe: pcie.DefaultParams(),
 		HBM:  hbm.DefaultParams(),
@@ -162,4 +172,49 @@ func DefaultConfig(cc bool) Config {
 		GPU:  gpu.DefaultParams(),
 		Host: DefaultParams(),
 	}
+}
+
+// NewConfig returns the paper's Table I system under the named protection
+// mode — the mode-aware constructor. The name is resolved through
+// ccmode.ByName and stored canonically.
+func NewConfig(mode string) (Config, error) {
+	m, err := ccmode.ByName(mode)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := baseConfig()
+	cfg.Mode = m.Name()
+	cfg.CC = m.CC()
+	return cfg, nil
+}
+
+// DefaultConfig returns the paper's Table I system with CC on or off — a
+// thin alias for the mode-aware constructor, kept for the pre-mode API.
+func DefaultConfig(cc bool) Config {
+	cfg := baseConfig()
+	cfg.CC = cc
+	return cfg
+}
+
+// ResolveMode resolves the configuration to its protection mode: Mode by
+// name when set, else the deprecated CC (+ TDX.TEEIO) alias via
+// ccmode.Legacy.
+func (c Config) ResolveMode() (ccmode.Mode, error) {
+	if c.Mode != "" {
+		return ccmode.ByName(c.Mode)
+	}
+	return ccmode.Legacy(c.CC, c.TDX.TEEIO), nil
+}
+
+// Normalize resolves the protection mode and writes it back canonically
+// (Mode set to the canonical name, CC to the mode's CC bit), so that
+// configurations meaning the same system hash and label identically.
+func (c Config) Normalize() (Config, error) {
+	m, err := c.ResolveMode()
+	if err != nil {
+		return Config{}, err
+	}
+	c.Mode = m.Name()
+	c.CC = m.CC()
+	return c, nil
 }

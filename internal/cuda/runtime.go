@@ -9,6 +9,7 @@ package cuda
 import (
 	"fmt"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/gpu"
 	"hccsim/internal/hbm"
 	"hccsim/internal/pcie"
@@ -24,6 +25,7 @@ type Runtime struct {
 	pl     *tdx.Platform
 	link   *pcie.Link
 	dev    *gpu.Device
+	mode   ccmode.Mode
 	tracer *trace.Tracer
 	params Params
 
@@ -36,8 +38,16 @@ type Runtime struct {
 }
 
 // New builds a full system (platform, link, HBM, UVM, device) from cfg.
+// The protection mode is resolved here — Config.Mode by name, or the
+// deprecated CC flag through the legacy shim — and threaded into every
+// layer. It panics on an unknown Config.Mode name, the same fatal-config
+// contract as the substrate constructors below it.
 func New(eng *sim.Engine, cfg Config) *Runtime {
-	pl := tdx.NewPlatform(eng, cfg.CC, cfg.TDX)
+	mode, err := cfg.ResolveMode()
+	if err != nil {
+		panic("cuda: " + err.Error())
+	}
+	pl := tdx.NewPlatform(eng, mode, cfg.TDX)
 	link := pcie.NewLink(eng, cfg.PCIe)
 	mem := hbm.NewAllocator(cfg.HBM)
 	tracer := trace.New()
@@ -45,7 +55,7 @@ func New(eng *sim.Engine, cfg Config) *Runtime {
 	mgr.SetTracer(tracer)
 	dev := gpu.New(eng, pl, link, mem, mgr, tracer, cfg.GPU)
 	return &Runtime{
-		eng: eng, pl: pl, link: link, dev: dev, tracer: tracer,
+		eng: eng, pl: pl, link: link, dev: dev, mode: mode, tracer: tracer,
 		params:     cfg.Host,
 		moduleSeen: make(map[string]bool),
 	}
@@ -70,7 +80,10 @@ func (rt *Runtime) Link() *pcie.Link { return rt.link }
 func (rt *Runtime) Params() Params { return rt.params }
 
 // CC reports whether confidential computing is enabled.
-func (rt *Runtime) CC() bool { return rt.pl.CC() }
+func (rt *Runtime) CC() bool { return rt.mode.CC() }
+
+// Mode returns the resolved protection mode.
+func (rt *Runtime) Mode() ccmode.Mode { return rt.mode }
 
 // Context binds the runtime to a host process: all API calls charge time to
 // that process, mirroring a single-threaded CUDA application.
@@ -188,9 +201,5 @@ func (rt *Runtime) Metrics() trace.Metrics { return rt.tracer.Analyze() }
 
 // String describes the runtime configuration.
 func (rt *Runtime) String() string {
-	mode := "CC-off"
-	if rt.CC() {
-		mode = "CC-on"
-	}
-	return fmt.Sprintf("cuda.Runtime{%s}", mode)
+	return fmt.Sprintf("cuda.Runtime{%s}", rt.mode.Name())
 }

@@ -134,7 +134,7 @@ func TestExtensionRegistryEntries(t *testing.T) {
 
 func TestTEEIOPlatformSemantics(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := tdx.NewPlatform(eng, true, tdx.TEEIOParams())
+	pl := tdx.NewLegacyPlatform(eng, true, tdx.TEEIOParams())
 	if pl.SoftwareCryptoPath() {
 		t.Fatal("TEE-IO platform should not use the software crypto path")
 	}
@@ -156,7 +156,7 @@ func TestCryptoWorkersParallelize(t *testing.T) {
 		eng := sim.NewEngine()
 		params := tdx.DefaultParams()
 		params.CryptoWorkers = workers
-		pl := tdx.NewPlatform(eng, true, params)
+		pl := tdx.NewLegacyPlatform(eng, true, params)
 		for i := 0; i < 4; i++ {
 			eng.Spawn("enc", func(p *sim.Proc) { pl.Encrypt(p, 64<<20) })
 		}

@@ -1,0 +1,119 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"hccsim/internal/core"
+	"hccsim/internal/cuda"
+	"hccsim/internal/nn"
+	"hccsim/internal/sim"
+	"hccsim/internal/workloads"
+)
+
+// The byte-identity contract of the protection-mode refactor: the Off and
+// TDXH100 backends must reproduce the pre-mode `CC: false` / `CC: true`
+// paths exactly, and TEEIODirect the pre-mode `CC: true` + `TDX.TEEIO`
+// paths, so that every existing figure and table is unchanged however the
+// mode is spelled. The committed golden files anchor the pre-refactor
+// output; these tests pin the named-mode spellings to the legacy ones.
+
+// spellingPairs are (legacy config, named-mode config) pairs that must
+// simulate identically.
+func spellingPairs() []struct {
+	name          string
+	legacy, named cuda.Config
+} {
+	return []struct {
+		name          string
+		legacy, named cuda.Config
+	}{
+		{"off", cuda.DefaultConfig(false), modeConfig("off")},
+		{"tdx-h100", cuda.DefaultConfig(true), modeConfig("tdx-h100")},
+		{"tee-io-direct", teeioConfig(), func() cuda.Config {
+			cfg := modeConfig("tee-io-direct")
+			cfg.TDX = teeioConfig().TDX
+			return cfg
+		}()},
+	}
+}
+
+// TestModeSpellingByteIdentity runs representative workloads (explicit-copy
+// and UVM) under both spellings of each mode and requires identical end
+// times and identical fitted models.
+func TestModeSpellingByteIdentity(t *testing.T) {
+	apps := []struct {
+		name string
+		mode workloads.Mode
+	}{
+		{"gemm", workloads.CopyExecute},
+		{"atax", workloads.CopyExecute},
+		{"2dconv", workloads.UVM},
+	}
+	for _, pair := range spellingPairs() {
+		for _, app := range apps {
+			spec := mustWorkload(app.name)
+			legacy := workloads.Execute(spec, app.mode, pair.legacy)
+			named := workloads.Execute(spec, app.mode, pair.named)
+			if legacy.End != named.End {
+				t.Errorf("%s/%s: end time drifted across spellings: legacy %v, named %v",
+					pair.name, app.name, time.Duration(legacy.End), time.Duration(named.End))
+			}
+			lm := core.Decompose(legacy.Runtime.Tracer())
+			nm := core.Decompose(named.Runtime.Tracer())
+			if lm != nm {
+				t.Errorf("%s/%s: fitted model drifted across spellings:\nlegacy %+v\nnamed  %+v",
+					pair.name, app.name, lm, nm)
+			}
+		}
+	}
+}
+
+// TestModeSpellingNN pins the CNN-training and LLM-serving paths the same
+// way: the Mode-string spelling must reproduce the CC-boolean spelling
+// exactly, including the canonicalized config echoed in the result.
+func TestModeSpellingNN(t *testing.T) {
+	model, err := nn.ModelByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyTrain := nn.TrainSimulate(nn.TrainConfig{Model: model, Batch: 64, Precision: nn.FP32, CC: true})
+	namedTrain := nn.TrainSimulate(nn.TrainConfig{Model: model, Batch: 64, Precision: nn.FP32, Mode: "tdx-h100"})
+	if legacyTrain != namedTrain {
+		t.Errorf("CNN training drifted across spellings:\nlegacy %+v\nnamed  %+v", legacyTrain, namedTrain)
+	}
+	legacyLLM := nn.LLMSimulate(nn.LLMConfig{Backend: nn.VLLM, Quant: nn.BF16, Batch: 32, CC: true})
+	namedLLM := nn.LLMSimulate(nn.LLMConfig{Backend: nn.VLLM, Quant: nn.BF16, Batch: 32, Mode: "tdx"})
+	if legacyLLM != namedLLM {
+		t.Errorf("LLM serving drifted across spellings:\nlegacy %+v\nnamed  %+v", legacyLLM, namedLLM)
+	}
+}
+
+// TestModeSpellingSystem pins the facade-level transfer path: a 256 MiB
+// pinned H2D copy must cost exactly the same under DefaultConfig(cc) and
+// the equivalent named mode.
+func TestModeSpellingSystem(t *testing.T) {
+	for _, pair := range spellingPairs() {
+		run := func(cfg cuda.Config) time.Duration { return ms256(t, cfg) }
+		if l, n := run(pair.legacy), run(pair.named); l != n {
+			t.Errorf("%s: 256 MiB copy drifted across spellings: legacy %v, named %v", pair.name, l, n)
+		}
+	}
+}
+
+func ms256(t *testing.T, cfg cuda.Config) time.Duration {
+	t.Helper()
+	eng := sim.NewEngine()
+	rt := cuda.New(eng, cfg)
+	var dur time.Duration
+	eng.Spawn("copy", func(p *sim.Proc) {
+		c := rt.Bind(p)
+		h := c.MallocHost("h", 256<<20)
+		d := c.Malloc("d", 256<<20)
+		start := p.Now()
+		c.Memcpy(d, h, 256<<20)
+		dur = time.Duration(p.Now() - start)
+	})
+	eng.Run()
+	return dur
+}

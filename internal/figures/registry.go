@@ -46,6 +46,7 @@ var registry = map[string]struct {
 
 	// Extensions: the directions the paper's discussion opens.
 	"ext-teeio":         {ExtTEEIO, "TEE-IO / TDX Connect hardware-fix projection"},
+	"ext-modes":         {ExtModes, "protection-mode family: off / tdx-h100 / tee-io serialized bridge / pipelined"},
 	"ext-cryptoworkers": {ExtCryptoWorkers, "parallelized copy-path encryption (PipeLLM direction)"},
 	"ext-graphbatch":    {ExtGraphBatch, "optimal cudaGraph batching under CC (Sec. VII-A future work)"},
 	"ext-prefetch":      {ExtPrefetch, "UVM prefetch vs fault-driven encrypted paging"},
@@ -61,7 +62,7 @@ var registry = map[string]struct {
 var displayOrder = []string{
 	"fig1", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "observations",
-	"ext-teeio", "ext-cryptoworkers", "ext-graphbatch", "ext-prefetch",
+	"ext-teeio", "ext-modes", "ext-cryptoworkers", "ext-graphbatch", "ext-prefetch",
 	"ext-primitives", "ext-multigpu", "ext-cnnbatch", "ext-llmprefill", "ext-startup",
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/hbm"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
@@ -111,6 +112,8 @@ type Device struct {
 	eng    *sim.Engine
 	pl     *tdx.Platform
 	link   *pcie.Link
+	mode   ccmode.Mode
+	port   tdx.Port
 	mem    *hbm.Allocator
 	uvm    *uvm.Manager
 	tracer *trace.Tracer
@@ -137,6 +140,8 @@ func New(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, mem *hbm.Allocator,
 	}
 	return &Device{
 		eng: eng, pl: pl, link: link, mem: mem, uvm: uvmMgr, tracer: tracer,
+		mode:    pl.Mode(),
+		port:    tdx.NewPort(pl, link),
 		params:  params,
 		cmdproc: sim.NewResource(eng, 1),
 		compute: sim.NewResource(eng, conc),
@@ -183,10 +188,11 @@ func (d *Device) KernelTime(spec KernelSpec) time.Duration {
 }
 
 // dispatchCost is the command processor's per-command time: base handling
-// plus, in CC mode, AES-GCM authentication of the command packet.
+// plus, when the mode authenticates command packets, AES-GCM verification
+// before dispatch.
 func (d *Device) dispatchCost() time.Duration {
 	c := d.params.DispatchBase
-	if d.pl.SoftwareCryptoPath() {
+	if d.mode.CmdAuth() {
 		c += d.params.CmdAuthCC
 	}
 	return c
@@ -322,50 +328,23 @@ func (ch *Channel) loop(p *sim.Proc) {
 }
 
 // TransferHD moves bytes between host and device memory, charging the
-// calling process. It implements the three copy paths of Sec. VI-A:
+// calling process. The protection mode owns the copy-path transform
+// (Sec. VI-A plus the extended modes):
 //
-//	non-CC pinned:    direct chunked DMA at link rate.
-//	non-CC pageable:  staging memcpy + DMA per chunk.
-//	CC (any host mem): encrypt into the bounce buffer + DMA per chunk
+//	off pinned:        direct chunked DMA at link rate.
+//	off pageable:      staging memcpy + DMA per chunk.
+//	tdx-h100 (any):    encrypt into the bounce buffer + DMA per chunk
 //	                   (H2D), or DMA + decrypt (D2H). "Pinned" host memory
 //	                   is demoted to this same encrypted-paging path, which
 //	                   is why pinned and pageable converge in CC mode
 //	                   (Observation 1); the return value reports that the
 //	                   transfer should be labelled managed.
+//	tee-io-*:          direct or serialized-bridge DMA (hardware IDE).
 func (d *Device) TransferHD(p *sim.Proc, dir pcie.Direction, bytes int64, pinned bool) (managed bool) {
 	if bytes <= 0 {
 		return false
 	}
-	chunk := d.params.ChunkBytes
-	if d.pl.SoftwareCryptoPath() {
-		for off := int64(0); off < bytes; off += chunk {
-			n := chunk
-			if bytes-off < n {
-				n = bytes - off
-			}
-			d.pl.BounceAcquire(p, n)
-			if dir == pcie.H2D {
-				d.pl.Encrypt(p, n)
-				d.link.Transfer(p, dir, n)
-			} else {
-				d.link.Transfer(p, dir, n)
-				d.pl.Decrypt(p, n)
-			}
-			d.pl.BounceRelease(n)
-		}
-		return pinned
-	}
-	for off := int64(0); off < bytes; off += chunk {
-		n := chunk
-		if bytes-off < n {
-			n = bytes - off
-		}
-		if !pinned {
-			d.pl.HostMemcpy(p, n)
-		}
-		d.link.Transfer(p, dir, n)
-	}
-	return false
+	return d.mode.Transfer(d.port, p, tdx.CCDirection(dir), bytes, d.params.ChunkBytes, pinned)
 }
 
 // TransferDD is a device-to-device blit through L2/HBM; CC does not touch it

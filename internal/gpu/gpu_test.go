@@ -23,7 +23,7 @@ type rig struct {
 
 func newRig(cc bool) *rig {
 	eng := sim.NewEngine()
-	pl := tdx.NewPlatform(eng, cc, tdx.DefaultParams())
+	pl := tdx.NewLegacyPlatform(eng, cc, tdx.DefaultParams())
 	link := pcie.NewLink(eng, pcie.DefaultParams())
 	mem := hbm.NewAllocator(hbm.DefaultParams())
 	mgr := uvm.NewManager(eng, pl, link, uvm.DefaultParams())

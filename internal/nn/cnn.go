@@ -89,6 +89,9 @@ type TrainConfig struct {
 	Batch     int
 	Precision Precision
 	CC        bool
+	// Mode optionally names the protection mode (ccmode.ByName); when set it
+	// takes precedence over the deprecated CC boolean.
+	Mode string
 }
 
 // TrainResult is the measured outcome.
@@ -117,16 +120,24 @@ func PrecisionByName(name string) (Precision, error) {
 // TrainSimulate runs a pipelined training loop (data prefetch on a copy
 // stream overlapping compute, as PyTorch DataLoader + non_blocking copies
 // do) on the simulated system, measures the steady-state iteration time,
-// and projects full-training numbers.
+// and projects full-training numbers. It panics on an unknown cfg.Mode
+// name, mirroring cuda.New's fatal-config contract.
 func TrainSimulate(cfg TrainConfig) TrainResult {
-	return TrainSimulateWith(cfg, cuda.DefaultConfig(cfg.CC))
+	return TrainSimulateWith(cfg, sysConfig(cfg.Mode, cfg.CC))
 }
 
 // TrainSimulateWith is TrainSimulate on an explicit system configuration —
-// the entry point parameter sweeps use to vary substrate constants.
-// sys.CC overrides cfg.CC so a sweep's config is authoritative.
+// the entry point parameter sweeps use to vary substrate constants. The
+// system config's resolved protection mode is authoritative and is written
+// back to cfg.Mode/cfg.CC. It panics on an unresolvable sys mode, mirroring
+// cuda.New's fatal-config contract.
 func TrainSimulateWith(cfg TrainConfig, sys cuda.Config) TrainResult {
-	cfg.CC = sys.CC
+	mode, err := sys.ResolveMode()
+	if err != nil {
+		panic("nn: " + err.Error())
+	}
+	cfg.Mode = mode.Name()
+	cfg.CC = mode.CC()
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, sys)
 

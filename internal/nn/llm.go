@@ -94,6 +94,9 @@ type LLMConfig struct {
 	Quant   Quant
 	Batch   int
 	CC      bool
+	// Mode optionally names the protection mode (ccmode.ByName); when set it
+	// takes precedence over the deprecated CC boolean.
+	Mode string
 }
 
 func (c LLMConfig) String() string {
@@ -136,16 +139,24 @@ func QuantByName(name string) (Quant, error) {
 // LLMSimulate runs decode steps of batched generation on the simulated
 // system and returns steady-state throughput (tokens/second), the Fig. 14
 // metric. Weight loading is done once before measurement, as serving
-// frameworks amortize it away.
+// frameworks amortize it away. It panics on an unknown cfg.Mode name,
+// mirroring cuda.New's fatal-config contract.
 func LLMSimulate(cfg LLMConfig) LLMResult {
-	return LLMSimulateWith(cfg, cuda.DefaultConfig(cfg.CC))
+	return LLMSimulateWith(cfg, sysConfig(cfg.Mode, cfg.CC))
 }
 
 // LLMSimulateWith is LLMSimulate on an explicit system configuration — the
-// entry point parameter sweeps use to vary substrate constants. sys.CC
-// overrides cfg.CC so a sweep's config is authoritative.
+// entry point parameter sweeps use to vary substrate constants. The system
+// config's resolved protection mode is authoritative and is written back to
+// cfg.Mode/cfg.CC. It panics on an unresolvable sys mode, mirroring
+// cuda.New's fatal-config contract.
 func LLMSimulateWith(cfg LLMConfig, sys cuda.Config) LLMResult {
-	cfg.CC = sys.CC
+	mode, err := sys.ResolveMode()
+	if err != nil {
+		panic("nn: " + err.Error())
+	}
+	cfg.Mode = mode.Name()
+	cfg.CC = mode.CC()
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, sys)
 	prof := profileOf(cfg.Backend)
@@ -188,7 +199,7 @@ func LLMSimulateWith(cfg LLMConfig, sys cuda.Config) LLMResult {
 				start = p.Now()
 			}
 			p.Sleep(prof.hostPerStep)
-			if cfg.CC {
+			if mode.MMIOTraps() {
 				p.Sleep(prof.hostPerStepCC)
 			}
 			for _, s := range specs {

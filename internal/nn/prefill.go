@@ -29,6 +29,18 @@ type PrefillResult struct {
 // PrefillSimulate measures warm TTFT and the cold-start weight load for one
 // configuration on the simulator.
 func PrefillSimulate(backend Backend, quant Quant, promptLen int, cc bool) PrefillResult {
+	return PrefillSimulateWith(backend, quant, promptLen, sysConfig("", cc))
+}
+
+// PrefillSimulateWith is PrefillSimulate on an explicit system
+// configuration; the protection mode is resolved from sys. It panics on an
+// unresolvable sys mode, mirroring cuda.New's fatal-config contract.
+func PrefillSimulateWith(backend Backend, quant Quant, promptLen int, sys cuda.Config) PrefillResult {
+	mode, err := sys.ResolveMode()
+	if err != nil {
+		panic("nn: " + err.Error())
+	}
+	cc := mode.CC()
 	prof := profileOf(backend)
 	weightBytes := bf16WeightBytes
 	computeScale := 1.0
@@ -38,7 +50,7 @@ func PrefillSimulate(backend Backend, quant Quant, promptLen int, cc bool) Prefi
 	}
 
 	eng := sim.NewEngine()
-	rt := cuda.New(eng, cuda.DefaultConfig(cc))
+	rt := cuda.New(eng, sys)
 	var warm, load time.Duration
 
 	eng.Spawn("prefill", func(p *sim.Proc) {
@@ -73,7 +85,7 @@ func PrefillSimulate(backend Backend, quant Quant, promptLen int, cc bool) Prefi
 		}
 		t1 := p.Now()
 		p.Sleep(prof.hostPerStep)
-		if cc {
+		if mode.MMIOTraps() {
 			p.Sleep(prof.hostPerStepCC)
 		}
 		for _, s := range specs {

@@ -58,6 +58,10 @@ type Link struct {
 	dir    [2]*sim.Resource
 	moved  [2]int64
 	xfers  [2]uint64
+	// bridge is the serialized encrypted CPU-GPU bridge used by TEE-IO
+	// bridge modes: one capacity-1 resource spanning BOTH directions, so
+	// H2D and D2H cannot overlap. Created lazily on first use.
+	bridge *sim.Resource
 }
 
 // NewLink creates a link bound to the engine.
@@ -91,6 +95,40 @@ func (l *Link) Transfer(p *sim.Proc, d Direction, n int64) {
 	r.Release()
 	l.moved[d] += n
 	l.xfers[d]++
+}
+
+// BridgeTransfer moves n bytes through the serialized encrypted bridge
+// ("The Serialized Bridge" model of Blackwell GPU-CC): unlike Transfer,
+// both directions contend for one resource, the achievable rate is derated
+// to gbps, and each transaction pays perTLP of hardware IDE latency on top
+// of the link's setup cost. A non-positive gbps falls back to the link's
+// full-duplex rate (serialization without derating).
+func (l *Link) BridgeTransfer(p *sim.Proc, d Direction, n int64, gbps float64, perTLP time.Duration) {
+	if l.bridge == nil {
+		l.bridge = sim.NewResource(l.eng, 1)
+	}
+	if gbps <= 0 {
+		gbps = l.params.EffectiveGBps
+	}
+	if n < 0 {
+		n = 0
+	}
+	stream := float64(n) / (gbps * 1e9)
+	t := l.params.TransactionLatency + perTLP + time.Duration(stream*float64(time.Second))
+	l.bridge.Acquire(p)
+	p.Sleep(t)
+	l.bridge.Release()
+	l.moved[d] += n
+	l.xfers[d]++
+}
+
+// BridgeBusy returns the cumulative busy time of the serialized bridge
+// (zero when no bridge transfer ever ran).
+func (l *Link) BridgeBusy() time.Duration {
+	if l.bridge == nil {
+		return 0
+	}
+	return l.bridge.BusyTime()
 }
 
 // BytesMoved returns the cumulative bytes DMAed in direction d.

@@ -24,6 +24,7 @@ package tdx
 import (
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/sim"
 	"hccsim/internal/swcrypto"
 )
@@ -70,8 +71,19 @@ type Params struct {
 	// line-rate hardware IDE (no bounce buffer, no software crypto) and
 	// trusted MMIO no longer exits. IDEPerTLP adds the residual link-layer
 	// encryption latency per transaction.
+	//
+	// Deprecated: TEEIO is a legacy alias consumed only by ccmode.Legacy
+	// when Config.Mode is empty — it resolves to the "tee-io-direct" mode.
+	// Platform behavior is driven by the resolved ccmode.Mode, never by
+	// this flag directly.
 	TEEIO     bool
 	IDEPerTLP time.Duration
+	// BridgeGBps is the achievable rate through the serialized encrypted
+	// CPU-GPU bridge of the "tee-io-bridge" mode (The Serialized Bridge:
+	// Blackwell GPU-CC keeps GPU-local performance but the bridge
+	// serializes both directions onto one engine, roughly halving the
+	// full-duplex PCIe rate).
+	BridgeGBps float64
 }
 
 // DefaultParams returns constants calibrated to the paper's testbed
@@ -91,6 +103,7 @@ func DefaultParams() Params {
 		CryptoAlg:      swcrypto.AES128GCM,
 		CryptoWorkers:  1,
 		IDEPerTLP:      250 * time.Nanosecond,
+		BridgeGBps:     26.0,
 	}
 }
 
@@ -134,9 +147,11 @@ type Stats struct {
 }
 
 // Platform is one guest (TD or legacy VM) plus the host machinery under it.
+// The protection mode (internal/ccmode) decides which mechanisms engage;
+// the platform supplies their calibrated costs and bookkeeping.
 type Platform struct {
 	eng    *sim.Engine
-	cc     bool
+	mode   ccmode.Mode
 	params Params
 	crypto *swcrypto.SoftCrypto
 	// cryptoWorker serializes software (de)cryption: OpenSSL on the CUDA
@@ -153,16 +168,20 @@ type bounceWaiter struct {
 	sig  *sim.Signal
 }
 
-// NewPlatform creates a guest platform. cc selects TD (true) or legacy VM.
-// It panics if the params name an unknown crypto algorithm or CPU model,
-// since no meaningful simulation can run without a calibrated cipher.
-func NewPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
+// NewPlatform creates a guest platform under the given protection mode.
+// It panics on a nil mode, or if the params name an unknown crypto
+// algorithm or CPU model, since no meaningful simulation can run without a
+// calibrated cipher.
+func NewPlatform(eng *sim.Engine, mode ccmode.Mode, params Params) *Platform {
+	if mode == nil {
+		panic("tdx: nil protection mode")
+	}
 	workers := params.CryptoWorkers
 	if workers < 1 {
 		workers = 1
 	}
-	pl := &Platform{eng: eng, cc: cc, params: params, cryptoWorker: sim.NewResource(eng, workers)}
-	if cc {
+	pl := &Platform{eng: eng, mode: mode, params: params, cryptoWorker: sim.NewResource(eng, workers)}
+	if mode.CC() {
 		sc, err := swcrypto.NewSoftCrypto(params.CryptoCPU, params.CryptoAlg)
 		if err != nil {
 			panic("tdx: " + err.Error())
@@ -172,13 +191,23 @@ func NewPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
 	return pl
 }
 
+// NewLegacyPlatform resolves the deprecated cc flag (plus params.TEEIO) to
+// a protection mode — the compatibility shim for pre-mode call sites. The
+// panic contract is NewPlatform's.
+func NewLegacyPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
+	return NewPlatform(eng, ccmode.Legacy(cc, params.TEEIO), params)
+}
+
+// Mode returns the platform's protection mode.
+func (pl *Platform) Mode() ccmode.Mode { return pl.mode }
+
 // CC reports whether the guest is a trust domain (confidential computing on).
-func (pl *Platform) CC() bool { return pl.cc }
+func (pl *Platform) CC() bool { return pl.mode.CC() }
 
 // SoftwareCryptoPath reports whether transfers go through the bounce-buffer
 // + software-encryption path: true for stock CC, false for legacy VMs and
-// for the TEE-IO projection (hardware IDE).
-func (pl *Platform) SoftwareCryptoPath() bool { return pl.cc && !pl.params.TEEIO }
+// for the TEE-IO modes (hardware IDE).
+func (pl *Platform) SoftwareCryptoPath() bool { return pl.mode.SoftwareCryptoPath() }
 
 // Params returns the platform's latency constants.
 func (pl *Platform) Params() Params { return pl.params }
@@ -207,7 +236,7 @@ func (pl *Platform) Hypercall(p *sim.Proc) {
 // the host via tdx_hypercall.
 func (pl *Platform) MMIO(p *sim.Proc) {
 	pl.stats.MMIOs++
-	if pl.cc && !pl.params.TEEIO {
+	if pl.mode.MMIOTraps() {
 		pl.stats.Hypercalls++
 		p.Sleep(pl.params.Hypercall)
 		return
@@ -219,16 +248,16 @@ func (pl *Platform) MMIO(p *sim.Proc) {
 // MMIOCost returns the per-access MMIO latency without charging it, for
 // call-stack reporting (Fig. 8).
 func (pl *Platform) MMIOCost() time.Duration {
-	if pl.cc && !pl.params.TEEIO {
+	if pl.mode.MMIOTraps() {
 		return pl.params.Hypercall
 	}
 	return pl.params.MMIODirect
 }
 
 // AcceptPrivate charges SEPT page-acceptance for newly touched private
-// memory (TD only; no-op in a legacy VM).
+// memory (modes with private allocations only; no-op otherwise).
 func (pl *Platform) AcceptPrivate(p *sim.Proc, bytes int64) {
-	if !pl.cc {
+	if !pl.mode.PrivateAllocs() {
 		return
 	}
 	n := pages(bytes)
@@ -236,10 +265,11 @@ func (pl *Platform) AcceptPrivate(p *sim.Proc, bytes int64) {
 	p.Sleep(time.Duration(n) * pl.params.SEPTPerPage)
 }
 
-// ConvertShared charges set_memory_decrypted over the range (TD only):
-// converting private pages to hypervisor-shared so a device can DMA them.
+// ConvertShared charges set_memory_decrypted over the range (modes with
+// private allocations only): converting private pages to hypervisor-shared
+// so a device can DMA them.
 func (pl *Platform) ConvertShared(p *sim.Proc, bytes int64) {
-	if !pl.cc {
+	if !pl.mode.PrivateAllocs() {
 		return
 	}
 	n := pages(bytes)
@@ -248,9 +278,9 @@ func (pl *Platform) ConvertShared(p *sim.Proc, bytes int64) {
 }
 
 // ScrubPrivate charges the page scrub TDX requires before reclaiming
-// private pages on free (TD only).
+// private pages on free (modes with private allocations only).
 func (pl *Platform) ScrubPrivate(p *sim.Proc, bytes int64) {
-	if !pl.cc {
+	if !pl.mode.PrivateAllocs() {
 		return
 	}
 	n := pages(bytes)
@@ -275,7 +305,7 @@ func (pl *Platform) HostMemcpy(p *sim.Proc, n int64) {
 // memory directly. A single request larger than the whole pool panics —
 // it could never be satisfied and would deadlock the waiter.
 func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
-	if !pl.cc || pl.params.TEEIO || n <= 0 {
+	if !pl.mode.SoftwareCryptoPath() || n <= 0 {
 		return
 	}
 	if n > pl.params.BounceBufBytes {
@@ -294,7 +324,7 @@ func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
 // BounceRelease returns n bytes to the bounce pool and wakes waiters whose
 // requests now fit. Releasing more than was acquired panics.
 func (pl *Platform) BounceRelease(n int64) {
-	if !pl.cc || pl.params.TEEIO || n <= 0 {
+	if !pl.mode.SoftwareCryptoPath() || n <= 0 {
 		return
 	}
 	pl.bounceUsed -= n
@@ -318,10 +348,10 @@ func (pl *Platform) BounceInUse() int64 { return pl.bounceUsed }
 // Encrypt charges software AES-GCM encryption of n bytes on the (single)
 // crypto worker. No-op in a legacy VM.
 func (pl *Platform) Encrypt(p *sim.Proc, n int64) {
-	if !pl.cc || n <= 0 {
+	if !pl.mode.CC() || n <= 0 {
 		return
 	}
-	if pl.params.TEEIO {
+	if !pl.mode.SoftwareCryptoPath() {
 		// Hardware IDE: link-layer encryption at line rate.
 		p.Sleep(pl.params.IDEPerTLP)
 		return
@@ -334,10 +364,10 @@ func (pl *Platform) Encrypt(p *sim.Proc, n int64) {
 
 // Decrypt charges software AES-GCM decryption of n bytes. No-op without CC.
 func (pl *Platform) Decrypt(p *sim.Proc, n int64) {
-	if !pl.cc || n <= 0 {
+	if !pl.mode.CC() || n <= 0 {
 		return
 	}
-	if pl.params.TEEIO {
+	if !pl.mode.SoftwareCryptoPath() {
 		p.Sleep(pl.params.IDEPerTLP)
 		return
 	}
@@ -350,10 +380,10 @@ func (pl *Platform) Decrypt(p *sim.Proc, n int64) {
 // CryptoTime returns the modelled (de)cryption time for n bytes without
 // charging it — used by GPU-side pipeline stages and analytic models.
 func (pl *Platform) CryptoTime(n int64) time.Duration {
-	if !pl.cc || n <= 0 {
+	if !pl.mode.CC() || n <= 0 {
 		return 0
 	}
-	if pl.params.TEEIO {
+	if !pl.mode.SoftwareCryptoPath() {
 		return pl.params.IDEPerTLP
 	}
 	return pl.crypto.Time(n)

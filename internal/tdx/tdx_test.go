@@ -10,7 +10,7 @@ import (
 
 func run(cc bool, body func(pl *Platform, p *sim.Proc)) (*Platform, sim.Time) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, cc, DefaultParams())
+	pl := NewLegacyPlatform(eng, cc, DefaultParams())
 	eng.Spawn("t", func(p *sim.Proc) { body(pl, p) })
 	end := eng.Run()
 	return pl, end
@@ -69,7 +69,7 @@ func TestPageOpsScaleWithPages(t *testing.T) {
 
 func TestEncryptChargesCryptoWorkerSerially(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	const n = 10 << 20
 	var ends []sim.Time
 	for i := 0; i < 2; i++ {
@@ -96,7 +96,7 @@ func TestBouncePoolBlocksWhenExhausted(t *testing.T) {
 	eng := sim.NewEngine()
 	params := DefaultParams()
 	params.BounceBufBytes = 1 << 20
-	pl := NewPlatform(eng, true, params)
+	pl := NewLegacyPlatform(eng, true, params)
 	var secondStart sim.Time
 	eng.Spawn("a", func(p *sim.Proc) {
 		pl.BounceAcquire(p, 1<<20)
@@ -122,7 +122,7 @@ func TestBounceOversizedRequestPanics(t *testing.T) {
 	eng := sim.NewEngine()
 	params := DefaultParams()
 	params.BounceBufBytes = 4096
-	pl := NewPlatform(eng, true, params)
+	pl := NewLegacyPlatform(eng, true, params)
 	eng.Spawn("a", func(p *sim.Proc) {
 		defer func() {
 			if recover() == nil {
@@ -136,7 +136,7 @@ func TestBounceOversizedRequestPanics(t *testing.T) {
 
 func TestBounceUnderflowPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on bounce underflow")
@@ -170,7 +170,7 @@ func TestPropertyCCAlwaysCostsMore(t *testing.T) {
 
 func TestCryptoTimeZeroWithoutCC(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, false, DefaultParams())
+	pl := NewLegacyPlatform(eng, false, DefaultParams())
 	if pl.CryptoTime(1<<20) != 0 {
 		t.Fatal("CryptoTime should be 0 without CC")
 	}
@@ -194,7 +194,7 @@ func TestProfilePresets(t *testing.T) {
 
 func TestAccessorsAndPaths(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	if !pl.CC() || !pl.SoftwareCryptoPath() {
 		t.Fatal("stock TD should report CC + software crypto path")
 	}
@@ -207,7 +207,7 @@ func TestAccessorsAndPaths(t *testing.T) {
 	if pl.MMIOCost() != DefaultParams().Hypercall {
 		t.Fatal("TD MMIOCost should be a hypercall")
 	}
-	vm := NewPlatform(eng, false, DefaultParams())
+	vm := NewLegacyPlatform(eng, false, DefaultParams())
 	if vm.SoftwareCryptoPath() {
 		t.Fatal("legacy VM reports software crypto path")
 	}
@@ -218,7 +218,7 @@ func TestAccessorsAndPaths(t *testing.T) {
 
 func TestHypercallAndHostMemcpy(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.Hypercall(p)
 		pl.HostMemcpy(p, 115*1000*1000) // ~10ms at 11.5 GB/s
@@ -237,7 +237,7 @@ func TestHypercallAndHostMemcpy(t *testing.T) {
 
 func TestTEEIOEncryptDecryptAreIDE(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, TEEIOParams())
+	pl := NewLegacyPlatform(eng, true, TEEIOParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.Encrypt(p, 1<<30)
 		pl.Decrypt(p, 1<<30)
@@ -257,7 +257,7 @@ func TestTEEIOEncryptDecryptAreIDE(t *testing.T) {
 
 func TestDecryptChargesWorker(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	eng.Spawn("t", func(p *sim.Proc) { pl.Decrypt(p, 33_600_000) }) // ~10ms at 3.36GB/s
 	end := eng.Run()
 	if time.Duration(end) < 9*time.Millisecond {
@@ -270,7 +270,7 @@ func TestDecryptChargesWorker(t *testing.T) {
 
 func TestPartialPageRoundUpOps(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, DefaultParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.AcceptPrivate(p, 1)
 		pl.ScrubPrivate(p, 1)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"hccsim/internal/ccmode"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
@@ -69,6 +70,8 @@ type Manager struct {
 	eng    *sim.Engine
 	pl     *tdx.Platform
 	link   *pcie.Link
+	mode   ccmode.Mode
+	port   tdx.Port
 	params Params
 	tracer *trace.Tracer // optional; fault batches are recorded when set
 
@@ -85,7 +88,8 @@ func NewManager(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, params Param
 	if params.PageBytes <= 0 || params.BatchPages <= 0 || params.BatchPagesCC <= 0 {
 		panic("uvm: invalid params")
 	}
-	return &Manager{eng: eng, pl: pl, link: link, params: params}
+	return &Manager{eng: eng, pl: pl, link: link,
+		mode: pl.Mode(), port: tdx.NewPort(pl, link), params: params}
 }
 
 // SetTracer attaches a tracer; subsequent fault batches are recorded.
@@ -149,12 +153,11 @@ func (r *Range) Release() {
 	}
 }
 
-// batchSize returns pages-per-batch for the current mode and pattern.
+// batchSize returns pages-per-batch for the current mode and pattern: the
+// protection mode owns the fault-batch transform (encrypted paging defeats
+// the density prefetcher's coalescing).
 func (m *Manager) batchSize(random bool) int {
-	b := m.params.BatchPages
-	if m.pl.SoftwareCryptoPath() {
-		b = m.params.BatchPagesCC
-	}
+	b := m.mode.FaultBatch(m.params.BatchPages, m.params.BatchPagesCC)
 	if random && m.params.RandomPenalty > 1 {
 		b = b / m.params.RandomPenalty
 	}
@@ -249,14 +252,7 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 		}
 		n := int64(end-start) * m.params.PageBytes
 		startT := m.eng.Now()
-		if m.pl.SoftwareCryptoPath() {
-			m.pl.BounceAcquire(p, n)
-		}
-		m.pl.Encrypt(p, n)
-		m.link.Transfer(p, pcie.H2D, n)
-		if m.pl.SoftwareCryptoPath() {
-			m.pl.BounceRelease(n)
-		}
+		m.mode.Migrate(m.port, p, ccmode.H2D, n)
 		for _, i := range missing[start:end] {
 			if !r.resident[i] {
 				r.resident[i] = true
@@ -315,23 +311,17 @@ func (m *Manager) nextClock() int64 {
 	return m.clock
 }
 
-// migrateToGPU services one fault batch: fault round trip, CC hypercalls,
-// encryption + bounce staging, DMA, and residency bookkeeping (with LRU
-// eviction when over the resident limit).
+// migrateToGPU services one fault batch: fault round trip, mode-dependent
+// hypercalls, the mode's page-move transform (bounce staging + software
+// crypto, direct DMA, or the serialized bridge), and residency bookkeeping
+// (with LRU eviction when over the resident limit).
 func (m *Manager) migrateToGPU(p *sim.Proc, r *Range, pageIdx []int, bytes int64) {
 	start := m.eng.Now()
 	p.Sleep(m.params.FaultService)
-	if m.pl.SoftwareCryptoPath() {
-		for i := 0; i < m.params.CCFaultHypercalls; i++ {
-			m.pl.Hypercall(p)
-		}
-		m.pl.BounceAcquire(p, bytes)
+	for i, n := 0, m.mode.FaultHypercalls(m.params.CCFaultHypercalls); i < n; i++ {
+		m.pl.Hypercall(p)
 	}
-	m.pl.Encrypt(p, bytes) // hardware IDE under TEE-IO, no-op without CC
-	m.link.Transfer(p, pcie.H2D, bytes)
-	if m.pl.SoftwareCryptoPath() {
-		m.pl.BounceRelease(bytes)
-	}
+	m.mode.Migrate(m.port, p, ccmode.H2D, bytes)
 
 	for _, i := range pageIdx {
 		if !r.resident[i] {
@@ -359,17 +349,10 @@ func (m *Manager) migrateToGPU(p *sim.Proc, r *Range, pageIdx []int, bytes int64
 func (m *Manager) migrateToHost(p *sim.Proc, bytes int64) {
 	start := m.eng.Now()
 	p.Sleep(m.params.FaultService)
-	if m.pl.SoftwareCryptoPath() {
-		for i := 0; i < m.params.CCFaultHypercalls; i++ {
-			m.pl.Hypercall(p)
-		}
-		m.pl.BounceAcquire(p, bytes)
+	for i, n := 0, m.mode.FaultHypercalls(m.params.CCFaultHypercalls); i < n; i++ {
+		m.pl.Hypercall(p)
 	}
-	m.link.Transfer(p, pcie.D2H, bytes)
-	m.pl.Decrypt(p, bytes)
-	if m.pl.SoftwareCryptoPath() {
-		m.pl.BounceRelease(bytes)
-	}
+	m.mode.Migrate(m.port, p, ccmode.D2H, bytes)
 	m.stats.FaultBatches++
 	m.stats.BytesToHost += bytes
 	if m.tracer != nil {

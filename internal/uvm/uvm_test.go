@@ -19,7 +19,7 @@ type rig struct {
 
 func newRig(cc bool) *rig {
 	eng := sim.NewEngine()
-	pl := tdx.NewPlatform(eng, cc, tdx.DefaultParams())
+	pl := tdx.NewLegacyPlatform(eng, cc, tdx.DefaultParams())
 	link := pcie.NewLink(eng, pcie.DefaultParams())
 	return &rig{eng: eng, pl: pl, link: link, mgr: NewManager(eng, pl, link, DefaultParams())}
 }

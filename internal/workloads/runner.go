@@ -7,8 +7,10 @@ import (
 
 // Result is one completed application run.
 type Result struct {
-	Spec    Spec
-	Mode    Mode
+	Spec Spec
+	Mode Mode
+	// CCMode is the canonical name of the resolved protection mode.
+	CCMode  string
 	CC      bool
 	Runtime *cuda.Runtime
 	End     sim.Time
@@ -24,7 +26,11 @@ func Execute(spec Spec, mode Mode, cfg cuda.Config) Result {
 		spec.Run(rt.Bind(p), mode)
 	})
 	end := eng.Run()
-	return Result{Spec: spec, Mode: mode, CC: cfg.CC, Runtime: rt, End: end}
+	return Result{
+		Spec: spec, Mode: mode,
+		CCMode: rt.Mode().Name(), CC: rt.CC(),
+		Runtime: rt, End: end,
+	}
 }
 
 // Pair runs the same application CC-off and CC-on with default configs —
