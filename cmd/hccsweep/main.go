@@ -55,6 +55,7 @@ func main() {
 	figs := flag.String("figures", "", "figure ids: comma list or 'all'")
 	cnns := flag.String("cnn", "", "CNN cells model:batch:precision, comma list (e.g. resnet50:64:fp32)")
 	llms := flag.String("llm", "", "LLM cells backend:quant:batch, comma list (e.g. vllm:awq:8)")
+	serves := flag.String("serve", "", "serving-traffic cells backend:quant:rateQPS, comma list (e.g. vllm:bf16:1.4); sweep rates with -param serve.rate=...")
 	uvm := flag.Bool("uvm", false, "also sweep the UVM variant of UVM-capable workloads")
 	modes := flag.String("modes", "cc,base", "comma list of cc, base, or protection-mode names (off, tdx-h100, tee-io-direct, tee-io-bridge, optionally +pipelined)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
@@ -81,7 +82,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	jobs, err := buildJobs(*apps, *cnns, *llms, *uvm, *modes, axes)
+	jobs, err := buildJobs(*apps, *cnns, *llms, *serves, *uvm, *modes, axes)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,7 +94,7 @@ func main() {
 		jobs = append(jobs, figures.Jobs(ids...)...)
 	}
 	if len(jobs) == 0 {
-		fmt.Fprintln(os.Stderr, "hccsweep: nothing to run (use -workloads, -figures, -cnn or -llm)")
+		fmt.Fprintln(os.Stderr, "hccsweep: nothing to run (use -workloads, -figures, -cnn, -llm or -serve)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -141,7 +142,7 @@ func main() {
 }
 
 // buildJobs expands the app/mode/parameter axes into the job grid.
-func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axis) ([]batch.Job, error) {
+func buildJobs(apps, cnns, llms, serves string, uvm bool, modes string, axes []batch.Axis) ([]batch.Job, error) {
 	ccModes, err := parseModes(modes)
 	if err != nil {
 		return nil, err
@@ -184,12 +185,26 @@ func buildJobs(apps, cnns, llms string, uvm bool, modes string, axes []batch.Axi
 			jobs = append(jobs, m.apply(batch.LLMJob(backend, quant, b, m.cc)))
 		}
 	}
-	for _, ax := range axes {
-		if ax.Param == batch.ModeAxis {
-			jobs = batch.GridModes(jobs, ax.Modes)
-			continue
+	for _, cell := range splitCells(serves) {
+		backend, quant, rate, err := parseServeCell(cell)
+		if err != nil {
+			return nil, err
 		}
-		jobs = batch.Grid(jobs, ax.Param, ax.Values)
+		for _, m := range ccModes {
+			j := batch.ServeJob(backend, quant, rate)
+			j.CC = m.cc
+			jobs = append(jobs, m.apply(j))
+		}
+	}
+	for _, ax := range axes {
+		switch ax.Param {
+		case batch.ModeAxis:
+			jobs = batch.GridModes(jobs, ax.Modes)
+		case batch.ServeRateAxis:
+			jobs = batch.GridServeRates(jobs, ax.Values)
+		default:
+			jobs = batch.Grid(jobs, ax.Param, ax.Values)
+		}
 	}
 	return jobs, nil
 }
@@ -245,6 +260,19 @@ func parseTriple(cell, form string) (string, int, string, error) {
 		return "", 0, "", fmt.Errorf("hccsweep: batch in %q: %v", cell, err)
 	}
 	return parts[0], b, parts[2], nil
+}
+
+// parseServeCell parses backend:quant:rateQPS.
+func parseServeCell(cell string) (string, string, float64, error) {
+	parts := strings.Split(strings.TrimSpace(cell), ":")
+	if len(parts) != 3 {
+		return "", "", 0, fmt.Errorf("hccsweep: want backend:quant:rateQPS, got %q", cell)
+	}
+	rate, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || rate <= 0 {
+		return "", "", 0, fmt.Errorf("hccsweep: rate in %q must be a positive number", cell)
+	}
+	return parts[0], parts[1], rate, nil
 }
 
 // parseLLMCell parses backend:quant:batch.

@@ -32,6 +32,13 @@ func main() {
 		"protection mode to compare against off: "+strings.Join(hccsim.Modes(), ", ")+" (optionally +pipelined)")
 	flag.Parse()
 
+	// Validate the mode before the first simulation so a typo fails
+	// immediately with the valid names, not mid-table.
+	if _, err := hccsim.NewConfig(*ccMode); err != nil {
+		log.Fatalf("llm-serving: invalid -mode %q: %v (valid: %s, optionally +pipelined)",
+			*ccMode, err, strings.Join(hccsim.Modes(), ", "))
+	}
+
 	batches := []int{1, 8, 16, 32, 64, 128}
 	modes := []string{"off", *ccMode}
 	fmt.Printf("Llama-3-8B decode throughput (tokens/s), simulated H100, off vs %s\n", *ccMode)

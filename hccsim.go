@@ -43,6 +43,7 @@ import (
 	"hccsim/internal/figures"
 	"hccsim/internal/gpu"
 	"hccsim/internal/nn"
+	"hccsim/internal/serve"
 	"hccsim/internal/sim"
 	"hccsim/internal/trace"
 	"hccsim/internal/workloads"
@@ -75,6 +76,18 @@ type (
 	TrainResult = nn.TrainResult
 	// LLMResult is one LLM serving measurement (ServeLLM).
 	LLMResult = nn.LLMResult
+	// ServeConfig describes one request-level serving-traffic experiment
+	// (ServeTraffic): open-loop arrivals, continuous batching, KV-cache
+	// pressure and SLO accounting under a protection mode.
+	ServeConfig = serve.Config
+	// ServeReport is the outcome of one ServeTraffic run.
+	ServeReport = serve.Report
+	// ServeCapacity is the result of a ServeMaxQPS capacity search.
+	ServeCapacity = serve.Capacity
+	// ServeSLO is the latency objective of a ServeConfig.
+	ServeSLO = serve.SLO
+	// LengthDist is a token-length distribution of a ServeConfig.
+	LengthDist = serve.LengthDist
 	// Job is one independent simulation in a batch sweep (see RunJobs).
 	Job = batch.Job
 	// JobResult is one completed sweep job.
@@ -269,6 +282,20 @@ func ServeLLMMode(backend, quant string, batch int, ccMode string) (nn.LLMResult
 	}
 	return nn.LLMSimulate(nn.LLMConfig{Backend: b, Quant: q, Batch: batch, Mode: ccMode}), nil
 }
+
+// ServeTraffic runs one request-level LLM serving experiment: seeded
+// open-loop arrivals through a continuous-batching scheduler with KV-cache
+// accounting, under the config's protection mode. It measures what the
+// steady-state decode numbers of ServeLLM (Fig. 14) leave out — queueing,
+// TTFT inflation, preemption swap traffic, and SLO attainment under load.
+// The zero value of most ServeConfig fields resolves to documented defaults;
+// cfg.Mode or cfg.System picks the protection mode.
+func ServeTraffic(cfg ServeConfig) (ServeReport, error) { return serve.Run(cfg) }
+
+// ServeMaxQPS binary-searches the maximum offered request rate at which the
+// configuration still meets its SLO attainment target — the capacity a
+// deployment loses to each protection mode.
+func ServeMaxQPS(cfg ServeConfig) (ServeCapacity, error) { return serve.FindCapacity(cfg) }
 
 // RunJobs executes a batch of sweep jobs on a bounded worker pool with
 // result caching: parallel <= 0 uses GOMAXPROCS, cacheDir "" keeps the

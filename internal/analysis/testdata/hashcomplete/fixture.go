@@ -80,6 +80,24 @@ func (m ModedConfig) Key() (string, error) {
 	return string(b), err
 }
 
+// ServeSpec mirrors the serving-job cells in the batch job schema: offered
+// rate, request count and workload seed all shape the simulated output, so
+// each must reach the cache key even when tagged omitempty. The shadow
+// rate dropped here is exactly the omission that would make a 1.2 and a
+// 1.6 qps sweep share cached results.
+type ServeSpec struct {
+	RateQPS  float64 `json:"rateQPS,omitempty"`
+	Requests int     `json:"requests,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	rate     float64 // want `unexported`
+}
+
+// Key hashes the serving cell — the shadow rate is flagged.
+func (s ServeSpec) Key() (string, error) {
+	b, err := json.Marshal(s)
+	return string(b), err
+}
+
 // Logged is only marshaled outside a Key function; its dropped field is
 // not a cache hazard and is not flagged.
 type Logged struct {

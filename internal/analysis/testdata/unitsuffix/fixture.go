@@ -31,6 +31,17 @@ const MaxPayloadBytes = 1 << 20
 // DefaultTimeoutMS carries its unit even as a quantity word.
 const DefaultTimeoutMS = 250
 
+// ServeConfig mirrors the serving simulator's knob surface: request rates
+// carry the QPS suffix, token-denominated capacities carry Tokens.
+type ServeConfig struct {
+	Rate         float64 // want `no unit suffix`
+	PoolCapacity int64   // want `no unit suffix`
+
+	RateQPS          float64 // suffixed: fine
+	CapacityTokens   int64   // suffixed: fine
+	MaxPrefillTokens int     // dimensionless-looking but suffixed: fine
+}
+
 // Tally is not a Params/Config/Calib type, so its fields are out of scope.
 type Tally struct {
 	TotalSize int

@@ -41,6 +41,7 @@ var unitSuffixes = []string{
 	"Bytes", "KB", "MB", "GB", "TB", "KiB", "MiB", "GiB",
 	"Pages", "Hz", "KHz", "MHz", "GHz",
 	"Pct", "Percent", "Ratio", "Frac",
+	"QPS", "Tokens",
 }
 
 func runUnitSuffix(p *Pass) {

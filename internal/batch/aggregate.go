@@ -40,6 +40,10 @@ func SweepTable(results []Result) tab.Table {
 		case r.Payload.LLM != nil:
 			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
 				fmt.Sprintf("%.0f tok/s", r.Payload.LLM.TokensPerSec))
+		case r.Payload.Serve != nil:
+			s := r.Payload.Serve
+			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
+				fmt.Sprintf("%.0f tok/s slo=%.2f", s.TokensPerSec, s.SLOAttainment))
 		case r.Payload.Table != nil:
 			cells = append(cells, "-", "-", "-", "-", "-", "-", "-",
 				fmt.Sprintf("%d rows", len(r.Payload.Table.Rows)))

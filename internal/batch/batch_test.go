@@ -269,6 +269,61 @@ func TestCNNAndLLMJobs(t *testing.T) {
 	}
 }
 
+// TestServeJobs runs serving-traffic cells through the pool: the payload
+// must carry a full serve report, rate/seed must be cache-key material,
+// GridServeRates must expand only serve jobs, and the rendered report must
+// be byte-identical at any parallelism.
+func TestServeJobs(t *testing.T) {
+	small := func(rate float64, mode string) Job {
+		j := ServeJob("vllm", "bf16", rate)
+		j.Mode = mode
+		j.Requests = 24
+		j.Seed = 7
+		return j
+	}
+	jobs := []Job{small(4, "off"), small(4, "tdx-h100")}
+	serial := (&Pool{Workers: 1, Cache: MemoryCache()}).Run(jobs)
+	pooled := (&Pool{Workers: 4, Cache: MemoryCache()}).Run(jobs)
+	for i, r := range serial {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", jobs[i].Label(), r.Err)
+		}
+		if r.Payload.Serve == nil || r.Payload.Serve.Completed+r.Payload.Serve.Rejected != r.Payload.Serve.Offered {
+			t.Fatalf("serve payload broken: %+v", r.Payload.Serve)
+		}
+		if pooled[i].Err != nil || pooled[i].Payload.Serve.String() != r.Payload.Serve.String() {
+			t.Fatalf("%s: pooled report differs from serial", jobs[i].Label())
+		}
+	}
+	if off, tdx := serial[0].Payload.Serve, serial[1].Payload.Serve; tdx.TTFT.P95 < off.TTFT.P95 {
+		t.Fatalf("tdx-h100 ttft p95 %v beats off %v", tdx.TTFT.P95, off.TTFT.P95)
+	}
+
+	// Rate and seed are simulated state, so they must change the key.
+	base := small(4, "off")
+	for _, variant := range []Job{small(8, "off"), func() Job { j := small(4, "off"); j.Seed = 9; return j }()} {
+		kb, err := base.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kv, err := variant.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kb == kv {
+			t.Fatalf("variant %s collides with %s", variant.Label(), base.Label())
+		}
+	}
+
+	expanded := GridServeRates([]Job{small(4, "off"), WorkloadJob("gemm", false, false)}, []float64{1, 2})
+	if len(expanded) != 3 {
+		t.Fatalf("GridServeRates expanded to %d jobs, want 3 (2 serve cells + 1 untouched workload)", len(expanded))
+	}
+	if expanded[0].RateQPS != 1 || expanded[1].RateQPS != 2 || expanded[2].Kind != KindWorkload {
+		t.Fatalf("GridServeRates wrong expansion: %+v", expanded)
+	}
+}
+
 // TestOverrideChangesOutcome makes sure a sweep axis actually reaches the
 // simulator: halving PCIe bandwidth must slow the copy-bound run down.
 func TestOverrideChangesOutcome(t *testing.T) {

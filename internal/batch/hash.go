@@ -9,7 +9,7 @@ import (
 
 // cacheVersion is folded into every job key; bump it when the payload
 // encoding or the meaning of a job changes so stale on-disk entries miss.
-const cacheVersion = "hccsweep-v2"
+const cacheVersion = "hccsweep-v3"
 
 // Key returns the content address of the job: a SHA-256 over the cache
 // format version, the job spec, and the fully resolved configuration it
@@ -27,15 +27,19 @@ func (j Job) Key() (string, error) {
 	spec := struct {
 		Version   string
 		Kind      Kind
-		Workload  string `json:",omitempty"`
-		UVM       bool   `json:",omitempty"`
-		Figure    string `json:",omitempty"`
-		Model     string `json:",omitempty"`
-		Precision string `json:",omitempty"`
-		Backend   string `json:",omitempty"`
-		Quant     string `json:",omitempty"`
-		Batch     int    `json:",omitempty"`
-	}{cacheVersion, j.Kind, j.Workload, j.UVM, j.Figure, j.Model, j.Precision, j.Backend, j.Quant, j.Batch}
+		Workload  string  `json:",omitempty"`
+		UVM       bool    `json:",omitempty"`
+		Figure    string  `json:",omitempty"`
+		Model     string  `json:",omitempty"`
+		Precision string  `json:",omitempty"`
+		Backend   string  `json:",omitempty"`
+		Quant     string  `json:",omitempty"`
+		Batch     int     `json:",omitempty"`
+		RateQPS   float64 `json:",omitempty"`
+		Requests  int     `json:",omitempty"`
+		Seed      uint64  `json:",omitempty"`
+	}{cacheVersion, j.Kind, j.Workload, j.UVM, j.Figure, j.Model, j.Precision,
+		j.Backend, j.Quant, j.Batch, j.RateQPS, j.Requests, j.Seed}
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
 		return "", fmt.Errorf("batch: hashing job spec: %w", err)

@@ -30,6 +30,7 @@ const (
 	KindFigure   Kind = "figure"   // one paper figure / extension table
 	KindCNN      Kind = "cnn"      // one Fig. 13 CNN training cell
 	KindLLM      Kind = "llm"      // one Fig. 14 LLM serving cell
+	KindServe    Kind = "serve"    // one request-level serving-traffic run
 )
 
 // Override names one configuration parameter to change from the default
@@ -65,6 +66,12 @@ type Job struct {
 
 	// Batch is the CNN or LLM batch size.
 	Batch int `json:",omitempty"`
+
+	// Serving-traffic jobs (KindServe; Backend and Quant are shared with
+	// LLM jobs above).
+	RateQPS  float64 `json:",omitempty"` // offered Poisson arrival rate
+	Requests int     `json:",omitempty"` // offered request count (0 = serve default)
+	Seed     uint64  `json:",omitempty"` // workload RNG seed (0 = serve default)
 
 	// CC selects confidential-computing mode (ignored for figure jobs,
 	// which fix their own modes internally).
@@ -109,6 +116,14 @@ func LLMJob(backend, quant string, batch int, cc bool, overrides ...Override) Jo
 	return Job{Kind: KindLLM, Backend: backend, Quant: quant, Batch: batch, CC: cc, Overrides: overrides}
 }
 
+// ServeJob builds a request-level serving-traffic job (internal/serve): an
+// open-loop run at the given offered rate. Mode defaults to off; set Job.Mode
+// or expand with GridModes for the protection-mode axis, and GridServeRates
+// for a latency-vs-load sweep.
+func ServeJob(backend, quant string, rateQPS float64, overrides ...Override) Job {
+	return Job{Kind: KindServe, Backend: backend, Quant: quant, RateQPS: rateQPS, Overrides: overrides}
+}
+
 // Label is a short human-readable identifier for sweep tables and logs.
 func (j Job) Label() string {
 	var b strings.Builder
@@ -124,6 +139,8 @@ func (j Job) Label() string {
 		fmt.Fprintf(&b, "%s/b%d/%s", j.Model, j.Batch, j.Precision)
 	case KindLLM:
 		fmt.Fprintf(&b, "%s/%s/b%d", j.Backend, j.Quant, j.Batch)
+	case KindServe:
+		fmt.Fprintf(&b, "serve/%s/%s/r%g", j.Backend, j.Quant, j.RateQPS)
 	default:
 		fmt.Fprintf(&b, "invalid(%s)", j.Kind)
 	}
@@ -167,6 +184,13 @@ func (j Job) Validate() error {
 	case KindLLM:
 		if j.Backend == "" || j.Quant == "" || j.Batch <= 0 {
 			return fmt.Errorf("batch: llm job needs backend, quant and batch: %+v", j)
+		}
+	case KindServe:
+		if j.Backend == "" || j.Quant == "" || j.RateQPS <= 0 {
+			return fmt.Errorf("batch: serve job needs backend, quant and a positive rate: %+v", j)
+		}
+		if j.Requests < 0 {
+			return fmt.Errorf("batch: serve job with negative request count: %+v", j)
 		}
 	default:
 		return fmt.Errorf("batch: unknown job kind %q", j.Kind)
@@ -217,6 +241,25 @@ func GridModes(jobs []Job, modes []string) []Job {
 				}
 				seen[key] = true
 			}
+			out = append(out, nj)
+		}
+	}
+	return out
+}
+
+// GridServeRates expands every serving job once per offered rate — the
+// serve.rate sweep axis of cmd/hccsweep. Non-serve jobs pass through
+// unchanged (the rate axis has no meaning for them).
+func GridServeRates(jobs []Job, rates []float64) []Job {
+	out := make([]Job, 0, len(jobs)*len(rates))
+	for _, j := range jobs {
+		if j.Kind != KindServe {
+			out = append(out, j)
+			continue
+		}
+		for _, r := range rates {
+			nj := j
+			nj.RateQPS = r
 			out = append(out, nj)
 		}
 	}

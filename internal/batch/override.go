@@ -135,6 +135,10 @@ func OverrideNames() []string {
 // ModeAxis is the reserved axis name sweeping the protection mode itself.
 const ModeAxis = "cc.mode"
 
+// ServeRateAxis is the reserved axis name sweeping the offered request rate
+// of serving-traffic jobs (expand with GridServeRates).
+const ServeRateAxis = "serve.rate"
+
 // Axis is one sweep dimension: a canonical "Section.Field" parameter path
 // and the grid values it takes (expand with Grid), or — when Param is
 // ModeAxis — a list of protection-mode names (expand with GridModes).
@@ -165,19 +169,39 @@ func ParseAxis(s string) (Axis, error) {
 		}
 		return Axis{Param: ModeAxis, Modes: modes}, nil
 	}
+	if name == ServeRateAxis {
+		vals, err := parseAxisValues(name, list)
+		if err != nil {
+			return Axis{}, err
+		}
+		for _, v := range vals {
+			if v <= 0 {
+				return Axis{}, fmt.Errorf("batch: axis %s: rate %g is not positive", ServeRateAxis, v)
+			}
+		}
+		return Axis{Param: ServeRateAxis, Values: vals}, nil
+	}
 	param, err := Canonical(name)
 	if err != nil {
 		return Axis{}, err
 	}
+	vals, err := parseAxisValues(name, list)
+	if err != nil {
+		return Axis{}, err
+	}
+	return Axis{Param: param, Values: vals}, nil
+}
+
+func parseAxisValues(name, list string) ([]float64, error) {
 	var vals []float64
 	for _, f := range strings.Split(list, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
-			return Axis{}, fmt.Errorf("batch: axis %s: bad value %q", name, strings.TrimSpace(f))
+			return nil, fmt.Errorf("batch: axis %s: bad value %q", name, strings.TrimSpace(f))
 		}
 		vals = append(vals, v)
 	}
-	return Axis{Param: param, Values: vals}, nil
+	return vals, nil
 }
 
 // ParseAxes parses a list of axis specs and rejects duplicate axes — two

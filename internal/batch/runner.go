@@ -7,6 +7,7 @@ import (
 
 	"hccsim/internal/core"
 	"hccsim/internal/nn"
+	"hccsim/internal/serve"
 	"hccsim/internal/tab"
 	"hccsim/internal/trace"
 	"hccsim/internal/workloads"
@@ -26,6 +27,8 @@ type Payload struct {
 	// CNN / LLM are set for the respective training/serving jobs.
 	CNN *nn.TrainResult `json:",omitempty"`
 	LLM *nn.LLMResult   `json:",omitempty"`
+	// Serve is set for request-level serving-traffic jobs.
+	Serve *serve.Report `json:",omitempty"`
 }
 
 // Runner executes one kind of job. The workload, CNN and LLM runners are
@@ -64,6 +67,7 @@ func init() {
 	RegisterRunner(KindWorkload, runWorkload)
 	RegisterRunner(KindCNN, runCNN)
 	RegisterRunner(KindLLM, runLLM)
+	RegisterRunner(KindServe, runServe)
 }
 
 func runWorkload(j Job) (Payload, error) {
@@ -117,4 +121,23 @@ func runLLM(j Job) (Payload, error) {
 	}
 	r := nn.LLMSimulateWith(nn.LLMConfig{Backend: backend, Quant: quant, Batch: j.Batch, CC: j.CC}, cfg)
 	return Payload{Elapsed: r.StepTime, LLM: &r}, nil
+}
+
+func runServe(j Job) (Payload, error) {
+	cfg, err := j.EffectiveConfig()
+	if err != nil {
+		return Payload{}, err
+	}
+	r, err := serve.Run(serve.Config{
+		Backend:  j.Backend,
+		Quant:    j.Quant,
+		System:   &cfg,
+		RateQPS:  j.RateQPS,
+		Requests: j.Requests,
+		Seed:     j.Seed,
+	})
+	if err != nil {
+		return Payload{}, err
+	}
+	return Payload{Elapsed: r.MakespanSim, Serve: &r}, nil
 }

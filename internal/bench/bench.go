@@ -19,6 +19,7 @@ import (
 
 	"hccsim/internal/ccmode"
 	"hccsim/internal/figures"
+	"hccsim/internal/serve"
 	"hccsim/internal/sim"
 )
 
@@ -72,6 +73,11 @@ func Collect(parallel int, date string) (Baseline, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), queuePutGet(), modeDispatch())
+	steady, err := serveSteadyState()
+	if err != nil {
+		return Baseline{}, err
+	}
+	b.Metrics = append(b.Metrics, steady)
 	figs, counters, err := figureCampaign(parallel)
 	if err != nil {
 		return Baseline{}, err
@@ -194,6 +200,31 @@ func modeDispatch() Metric {
 		Unit:   "dispatches/sec",
 		Better: HigherIsBetter,
 	}
+}
+
+// serveSteadyState measures the request-level serving simulator's host-CPU
+// cost: one default-workload run (160 requests, continuous batching, KV
+// accounting, streaming histograms) at the capacity knee, reported as
+// scheduler iterations per wall second. A warm-up run first memoizes the
+// per-mode step-cost calibration so the metric tracks the steady-state
+// scheduler loop, not one-time calibration.
+func serveSteadyState() (Metric, error) {
+	cfg := serve.Config{Backend: "vllm", Quant: "bf16", Mode: "tdx-h100", RateQPS: 1.4}
+	if _, err := serve.Run(cfg); err != nil { // warm-up: calibration memo
+		return Metric{}, err
+	}
+	start := time.Now()
+	rep, err := serve.Run(cfg)
+	if err != nil {
+		return Metric{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return Metric{
+		Name:   "serve_steady_state",
+		Value:  float64(rep.Iterations) / elapsed,
+		Unit:   "iters/sec",
+		Better: HigherIsBetter,
+	}, nil
 }
 
 // figureCampaign regenerates the complete figure set through the worker

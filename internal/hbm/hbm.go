@@ -81,6 +81,21 @@ func (a *Allocator) Alloc(size int64) (int64, error) {
 	if size <= 0 {
 		return 0, fmt.Errorf("hbm: allocation size must be positive, got %d", size)
 	}
+	if off, ok := a.TryAlloc(size); ok {
+		return off, nil
+	}
+	return 0, fmt.Errorf("hbm: out of memory: need %d bytes, %d free in %d fragments",
+		a.align(size), a.Free(), len(a.free))
+}
+
+// TryAlloc is Alloc without the error: ok is false when the request cannot
+// be satisfied. Allocation-pressure loops (the serving scheduler's KV-cache
+// accountant probes for one more block on every decode iteration) use it to
+// keep the out-of-memory path free of error formatting.
+func (a *Allocator) TryAlloc(size int64) (off int64, ok bool) {
+	if size <= 0 {
+		return 0, false
+	}
 	n := a.align(size)
 	for i, b := range a.free {
 		if b.size < n {
@@ -97,10 +112,9 @@ func (a *Allocator) Alloc(size int64) (int64, error) {
 		if a.used > a.peak {
 			a.peak = a.used
 		}
-		return off, nil
+		return off, true
 	}
-	return 0, fmt.Errorf("hbm: out of memory: need %d bytes, %d free in %d fragments",
-		n, a.Free(), len(a.free))
+	return 0, false
 }
 
 // Release frees the allocation starting at off, coalescing with neighbours.

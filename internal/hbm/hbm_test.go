@@ -217,3 +217,40 @@ func TestNewAllocatorPanicsOnBadParams(t *testing.T) {
 	}()
 	NewAllocator(Params{CapacityBytes: 0, AlignBytes: 0})
 }
+
+func TestTryAllocMatchesAllocAndRefusesWithoutError(t *testing.T) {
+	a := NewAllocator(testParams())
+	off, ok := a.TryAlloc(100) // rounds to 1 KiB
+	if !ok || off != 0 {
+		t.Fatalf("TryAlloc = %d,%v, want 0,true", off, ok)
+	}
+	if a.Used() != 1<<10 {
+		t.Fatalf("used=%d, want 1024", a.Used())
+	}
+	if _, ok := a.TryAlloc(2 << 20); ok {
+		t.Fatal("TryAlloc beyond capacity succeeded")
+	}
+	if _, ok := a.TryAlloc(0); ok {
+		t.Fatal("TryAlloc(0) succeeded")
+	}
+	if err := a.Release(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the heap block by block; the refusal leaves state untouched.
+	n := 0
+	for {
+		if _, ok := a.TryAlloc(1 << 10); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1024 || a.Free() != 0 {
+		t.Fatalf("filled %d blocks, free=%d; want 1024, 0", n, a.Free())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

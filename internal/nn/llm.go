@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"hccsim/internal/cuda"
-	"hccsim/internal/gpu"
 	"hccsim/internal/sim"
 )
 
@@ -161,12 +160,7 @@ func LLMSimulateWith(cfg LLMConfig, sys cuda.Config) LLMResult {
 	rt := cuda.New(eng, sys)
 	prof := profileOf(cfg.Backend)
 
-	weightBytes := bf16WeightBytes
-	computeScale := 1.0
-	if cfg.Quant == AWQ {
-		weightBytes = awqWeightBytes
-		computeScale = 1.8 // dequantization work on every GEMM
-	}
+	weightBytes := WeightBytes(cfg.Quant)
 
 	const warmup, measured = 1, 4
 	var stepTime time.Duration
@@ -180,18 +174,7 @@ func LLMSimulateWith(cfg LLMConfig, sys cuda.Config) LLMResult {
 		out := c.HostBuffer("tokens", 1<<20)
 		dOut := c.Malloc("dout", 1<<20)
 
-		memPerKernel := weightBytes / int64(prof.kernelsPerStep)
-		flops := flopsPerToken * float64(cfg.Batch) * computeScale / float64(prof.kernelsPerStep)
-		specs := make([]gpu.KernelSpec, prof.kernelsPerStep)
-		for i := range specs {
-			specs[i] = gpu.KernelSpec{
-				Name:            fmt.Sprintf("decode.%s.k%d", cfg.Quant, i%16),
-				Blocks:          grid(cfg.Batch),
-				ThreadsPerBlock: 256,
-				FLOPs:           flops * (60.0 / prof.tensorTFLOPs), // rescale to backend-achieved rate
-				MemBytes:        memPerKernel,
-			}
-		}
+		specs := DecodeSpecs(cfg.Backend, cfg.Quant, cfg.Batch)
 
 		var start sim.Time
 		for step := 0; step < warmup+measured; step++ {

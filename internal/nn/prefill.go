@@ -1,7 +1,6 @@
 package nn
 
 import (
-	"fmt"
 	"time"
 
 	"hccsim/internal/cuda"
@@ -42,12 +41,8 @@ func PrefillSimulateWith(backend Backend, quant Quant, promptLen int, sys cuda.C
 	}
 	cc := mode.CC()
 	prof := profileOf(backend)
-	weightBytes := bf16WeightBytes
-	computeScale := 1.0
-	if quant == AWQ {
-		weightBytes = awqWeightBytes
-		computeScale = 1.8
-	}
+	weightBytes := WeightBytes(quant)
+	computeScale := computeScaleOf(quant)
 
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, sys)
@@ -72,17 +67,7 @@ func PrefillSimulateWith(backend Backend, quant Quant, promptLen int, sys cuda.C
 
 		// Warm TTFT: one prefill pass over the prompt (compute-bound GEMMs
 		// re-reading the weights) plus one decode step.
-		prefillFlops := flopsPerToken * float64(promptLen) * computeScale
-		specs := make([]gpu.KernelSpec, prof.kernelsPerStep)
-		for i := range specs {
-			specs[i] = gpu.KernelSpec{
-				Name:            fmt.Sprintf("prefill.%s.k%d", quant, i%16),
-				Blocks:          2048,
-				ThreadsPerBlock: 256,
-				FLOPs:           prefillFlops / float64(prof.kernelsPerStep) * (60.0 / prof.tensorTFLOPs),
-				MemBytes:        weightBytes / int64(prof.kernelsPerStep),
-			}
-		}
+		specs := PrefillSpecs(backend, quant, promptLen)
 		t1 := p.Now()
 		p.Sleep(prof.hostPerStep)
 		if mode.MMIOTraps() {

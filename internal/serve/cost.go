@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hccsim/internal/cuda"
+	"hccsim/internal/nn"
+	"hccsim/internal/sim"
+)
+
+// costModel is the calibrated per-iteration cost surface of one (system,
+// backend, quant) triple: decode-iteration time as a function of running
+// batch size and prefill-pass time as a function of batched prompt tokens,
+// both piecewise-linear between calibration points. Calibration replays
+// the exact Fig. 14 kernel and host costs (nn.DecodeSpecs/PrefillSpecs)
+// through the protection mode's launch path on a private engine, so the
+// scheduler's iterations cost what LLMSimulate steps cost on the same
+// mode — the scheduler then charges its own token and KV-swap copies on
+// top, which calibration therefore excludes.
+type costModel struct {
+	batches  []int
+	decodeNS []float64
+	tokens   []int
+	prefNS   []float64
+}
+
+// decode returns the cost of one decode iteration over batch sequences.
+func (m *costModel) decode(batch int) time.Duration {
+	return time.Duration(interp(m.batches, m.decodeNS, batch))
+}
+
+// prefill returns the cost of one prefill pass over tokens prompt tokens.
+func (m *costModel) prefill(tokens int) time.Duration {
+	return time.Duration(interp(m.tokens, m.prefNS, tokens))
+}
+
+// interp evaluates the piecewise-linear curve (xs, ys) at x, extrapolating
+// from the outermost segment beyond the calibrated range. xs is sorted and
+// has at least two points.
+func interp(xs []int, ys []float64, x int) float64 {
+	i := sort.SearchInts(xs, x)
+	if i < len(xs) && xs[i] == x {
+		return ys[i]
+	}
+	// Pick the segment [i-1, i], shifted inward at the edges.
+	if i == 0 {
+		i = 1
+	}
+	if i == len(xs) {
+		i = len(xs) - 1
+	}
+	x0, x1 := float64(xs[i-1]), float64(xs[i])
+	y0, y1 := ys[i-1], ys[i]
+	return y0 + (y1-y0)*(float64(x)-x0)/(x1-x0)
+}
+
+// decodePoints returns the decode calibration batch sizes for a batch cap.
+func decodePoints(maxBatch int) []int {
+	pts := []int{1, 4, 16, 64}
+	for _, p := range []int{maxBatch / 2, maxBatch} {
+		if p > pts[len(pts)-1] {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// prefillPoints are the prefill calibration prompt sizes.
+var prefillPoints = []int{256, 1024, 4096, 16384}
+
+// calibEntry memoizes one calibration behind a once, so concurrent batch
+// workers share the work without serializing unrelated calibrations.
+type calibEntry struct {
+	once  sync.Once
+	model *costModel
+}
+
+var calibMemo = struct {
+	sync.Mutex
+	m map[string]*calibEntry
+}{m: make(map[string]*calibEntry)}
+
+// calibrated returns the memoized cost model for the triple, calibrating
+// on first use. Calibration keys on the full marshaled system config, so
+// parameter sweeps that perturb substrate constants re-calibrate. Panics
+// if the config fails to marshal — a programming error, same contract as
+// batch.Job.Key.
+func calibrated(sys cuda.Config, backend nn.Backend, quant nn.Quant, maxBatch int) *costModel {
+	raw, err := json.Marshal(sys)
+	if err != nil {
+		// cuda.Config is a plain parameter struct; failing to marshal it is
+		// a programming error, same contract as batch.Job.Key.
+		panic("serve: marshal system config: " + err.Error())
+	}
+	sum := sha256.Sum256(raw)
+	key := fmt.Sprintf("%s|%s|%d|%s", backend, quant, maxBatch, hex.EncodeToString(sum[:8]))
+
+	calibMemo.Lock()
+	e, ok := calibMemo.m[key]
+	if !ok {
+		e = &calibEntry{}
+		calibMemo.m[key] = e
+	}
+	calibMemo.Unlock()
+	e.once.Do(func() { e.model = calibrate(sys, backend, quant, maxBatch) })
+	return e.model
+}
+
+// calibrate measures the decode and prefill cost points on a private
+// engine: per point, one warmup iteration (absorbing context init and
+// module upload) and two measured iterations, averaged. Panics if the
+// already-normalized config resolves to no mode — a programming error,
+// mirroring cuda.New's fatal-config contract.
+func calibrate(sys cuda.Config, backend nn.Backend, quant nn.Quant, maxBatch int) *costModel {
+	mode, err := sys.ResolveMode()
+	if err != nil {
+		// withDefaults normalized sys already; an unresolvable mode here is
+		// a programming error, mirroring cuda.New's fatal-config contract.
+		panic("serve: " + err.Error())
+	}
+	hostStep, hostStepCC := nn.HostStepCost(backend)
+	host := hostStep
+	if mode.MMIOTraps() {
+		host += hostStepCC
+	}
+
+	m := &costModel{batches: decodePoints(maxBatch), tokens: prefillPoints}
+	eng := sim.NewEngine()
+	rt := cuda.New(eng, sys)
+	eng.Spawn("serve:calibrate", func(p *sim.Proc) {
+		c := rt.Bind(p)
+		measure := func(launch func()) float64 {
+			const warmup, measured = 1, 2
+			var start sim.Time
+			for i := 0; i < warmup+measured; i++ {
+				if i == warmup {
+					start = p.Now()
+				}
+				p.Sleep(host)
+				launch()
+				c.Sync()
+			}
+			return float64(p.Now()-start) / measured
+		}
+
+		for _, b := range m.batches {
+			specs := nn.DecodeSpecs(backend, quant, b)
+			m.decodeNS = append(m.decodeNS, measure(func() {
+				for _, s := range specs {
+					c.Launch(s, nil)
+				}
+			}))
+		}
+		for _, tok := range m.tokens {
+			specs := nn.PrefillSpecs(backend, quant, tok)
+			m.prefNS = append(m.prefNS, measure(func() {
+				for _, s := range specs {
+					c.Launch(s, nil)
+				}
+			}))
+		}
+	})
+	eng.Run()
+	return m
+}

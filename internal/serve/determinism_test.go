@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastConfig is a small configuration used by tests that care about
+// behaviour, not realism: short sequences and a tight KV pool keep a run in
+// the low milliseconds while still exercising prefill, decode, admission,
+// and preemption.
+func fastConfig(mode string) Config {
+	return Config{
+		Mode:         mode,
+		Seed:         7,
+		Requests:     48,
+		RateQPS:      20,
+		PromptTokens: LengthDist{Mean: 512, Spread: 256},
+		OutputTokens: LengthDist{Mean: 256, Spread: 128},
+		KVCapBytes:   1 << 30, // 8192 tokens: ~10 resident sequences
+		MaxBatch:     32,
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	first, err := Run(fastConfig("tdx-h100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.String()
+	for i := 0; i < 3; i++ {
+		r, err := Run(fastConfig("tdx-h100"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.String(); got != want {
+			t.Fatalf("repeat %d diverged:\n--- first\n%s--- repeat\n%s", i, want, got)
+		}
+	}
+}
+
+// TestRunDeterministicUnderConcurrency runs the same experiment from many
+// goroutines at once (as the batch worker pool does at any -parallel level)
+// and requires byte-identical reports: each run owns its engine and RNG, and
+// the shared calibration memo must not leak state between runs.
+func TestRunDeterministicUnderConcurrency(t *testing.T) {
+	want := ""
+	{
+		r, err := Run(fastConfig("tee-io-bridge+pipelined"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = r.String()
+	}
+	var wg sync.WaitGroup
+	got := make([]string, 8)
+	errs := make([]error, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := Run(fastConfig("tee-io-bridge+pipelined"))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = r.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want {
+			t.Fatalf("concurrent run %d diverged:\n--- want\n%s--- got\n%s", i, want, got[i])
+		}
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	a, err := Run(fastConfig("off"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig("off")
+	cfg.Seed = 8
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("different seeds produced identical reports")
+	}
+	if a.Seed == b.Seed {
+		t.Fatal("report must echo its seed")
+	}
+}
+
+// TestBurstyTraceStress floods the scheduler with simultaneous-arrival
+// bursts from several goroutines; run with -race this doubles as the data
+// race check for the calibration memo and per-run state.
+func TestBurstyTraceStress(t *testing.T) {
+	trace := make([]time.Duration, 64)
+	for i := range trace {
+		if i%32 == 0 {
+			trace[i] = 3 * time.Second // quiet gap, then a 32-request burst
+		}
+	}
+	var wg sync.WaitGroup
+	for _, mode := range []string{"off", "tdx-h100", "tee-io-bridge", "tee-io-bridge+pipelined"} {
+		for rep := 0; rep < 2; rep++ {
+			wg.Add(1)
+			go func(mode string, rep int) {
+				defer wg.Done()
+				cfg := fastConfig(mode)
+				cfg.Trace = trace
+				cfg.QueueDepth = 4 // force rejections mid-burst
+				cfg.Seed = uint64(rep + 1)
+				r, err := Run(cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.Offered != r.Completed+r.Rejected {
+					t.Errorf("%s: offered %d != completed %d + rejected %d",
+						mode, r.Offered, r.Completed, r.Rejected)
+				}
+				if r.Rejected == 0 {
+					t.Errorf("%s: burst against QueueDepth=8 should reject some arrivals", mode)
+				}
+			}(mode, rep)
+		}
+	}
+	wg.Wait()
+}

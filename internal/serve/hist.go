@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram is a streaming log-bucketed latency histogram (HDR-style):
+// values below 2^histSubBits nanoseconds are recorded exactly; above that,
+// each power-of-two octave splits into 2^histSubBits linear sub-buckets,
+// bounding the relative quantile error at 2^-histSubBits (~3.1%) with a
+// few KiB of counters and O(1) integer-only recording — no stored samples,
+// no sorting, no floating point on the ingest path, so recording order
+// cannot perturb the result.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    int64
+	max    int64
+}
+
+const histSubBits = 5
+
+// Record adds one duration; negative values clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean of recorded values (the sum is exact even
+// though individual values are bucketed), or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.total))
+}
+
+// Max returns the largest recorded value.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound on the q-quantile (nearest-rank): the
+// inclusive upper edge of the bucket holding the ceil(q*count)-th smallest
+// value, clamped to the recorded maximum. q outside (0,1] clamps; an empty
+// histogram returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(h.total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			ub := bucketUpper(i)
+			if ub > h.max {
+				ub = h.max
+			}
+			return time.Duration(ub)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	const sub = uint64(1) << histSubBits
+	if u < sub {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1          // 2^e <= u < 2^(e+1), e >= histSubBits
+	m := (u >> uint(e-histSubBits)) // top histSubBits+1 bits: in [sub, 2*sub)
+	return int(uint64(e-histSubBits)<<histSubBits + m)
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	const sub = uint64(1) << histSubBits
+	u := uint64(i)
+	if u < sub {
+		return int64(u)
+	}
+	e := (u >> histSubBits) - 1 + histSubBits // octave exponent
+	m := (u & (sub - 1)) + sub                // mantissa in [sub, 2*sub)
+	shift := uint(e - histSubBits)
+	if shift >= 58 {
+		// (m+1)<<58 already exceeds MaxInt64 for every mantissa; these
+		// buckets are unreachable from Record (which takes a time.Duration),
+		// so saturate to keep the mapping monotone.
+		return math.MaxInt64
+	}
+	upper := (m+1)<<shift - 1
+	if upper > math.MaxInt64 {
+		upper = math.MaxInt64
+	}
+	return int64(upper)
+}

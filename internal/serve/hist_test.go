@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// sortQuantile is the exact nearest-rank quantile over stored samples — the
+// reference the streaming histogram is checked against.
+func sortQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestHistogramQuantilesMatchSortReference(t *testing.T) {
+	r := newRNG(42)
+	var h Histogram
+	samples := make([]time.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Latency-shaped draws spanning ~6 orders of magnitude: exponential
+		// body with a heavy tail, microseconds to minutes.
+		v := time.Duration(r.exp1() * float64(20*time.Millisecond))
+		if r.intn(20) == 0 {
+			v *= 100
+		}
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	if h.Count() != 5000 {
+		t.Fatalf("Count = %d, want 5000", h.Count())
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Errorf("Max = %v, want %v", h.Max(), samples[len(samples)-1])
+	}
+	var sum time.Duration
+	for _, v := range samples {
+		sum += v
+	}
+	if want := sum / 5000; h.Mean() != want {
+		t.Errorf("Mean = %v, want exact %v", h.Mean(), want)
+	}
+
+	// The histogram reports the inclusive upper edge of the bucket holding
+	// the nearest-rank sample: never below the true quantile, and above it
+	// by at most one part in 2^histSubBits.
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0} {
+		got := h.Quantile(q)
+		want := sortQuantile(samples, q)
+		if got < want {
+			t.Errorf("Quantile(%g) = %v below true %v", q, got, want)
+		}
+		maxErr := time.Duration(float64(want) / float64(int64(1)<<histSubBits))
+		if got > want+maxErr {
+			t.Errorf("Quantile(%g) = %v exceeds true %v by more than 1/2^%d", q, got, want, histSubBits)
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 1<<histSubBits; v++ {
+		h.Record(time.Duration(v))
+	}
+	for v := int64(0); v < 1<<histSubBits; v++ {
+		q := (float64(v) + 1) / float64(1<<histSubBits)
+		if got := h.Quantile(q); got != time.Duration(v) {
+			t.Fatalf("Quantile(%g) = %v, want exactly %d (sub-2^%d values are exact)", q, got, v, histSubBits)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamps to zero
+	h.Record(time.Hour)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Errorf("Quantile(0.25) = %v, want 0 (negative draw clamps)", got)
+	}
+	if got := h.Quantile(1.0); got != time.Hour {
+		t.Errorf("Quantile(1) = %v, want max exactly (clamped to recorded max)", got)
+	}
+	if got := h.Quantile(2.0); got != time.Hour {
+		t.Errorf("Quantile(2) = %v, want clamp to 1.0 behaviour", got)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, and bucket
+	// upper bounds must be monotonically increasing.
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, (1 << 40) - 1, 1 << 40, 1<<62 + 12345}
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if up := bucketUpper(i); v > up {
+			t.Errorf("value %d above its bucket %d upper bound %d", v, i, up)
+		}
+		if i > 0 {
+			if lo := bucketUpper(i - 1); v <= lo {
+				t.Errorf("value %d at or below previous bucket upper %d", v, lo)
+			}
+		}
+	}
+	for i := 1; i < 2048; i++ {
+		prev, cur := bucketUpper(i-1), bucketUpper(i)
+		if cur == math.MaxInt64 {
+			// Unreachable-from-Record buckets saturate; monotone, not strict.
+			if prev > cur {
+				t.Fatalf("bucketUpper decreases at %d", i)
+			}
+			continue
+		}
+		if cur <= prev {
+			t.Fatalf("bucketUpper not monotone at %d", i)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"time"
+
+	"hccsim/internal/cuda"
+	"hccsim/internal/nn"
+	"hccsim/internal/sim"
+)
+
+// schedule runs the continuous-batching scheduler over the drawn workload
+// and computes the report. Policy (DESIGN.md §10):
+//
+//   - Admission: FIFO from the bounded waiting queue, between iterations,
+//     while the running set is below MaxBatch and the KV pool can hold the
+//     sequence's resident tokens plus a 1% watermark (skipped when the
+//     running set is empty, so a fitting head request always admits and the
+//     scheduler cannot livelock). A request whose full prompt+output KV
+//     exceeds the pool is rejected up front.
+//   - Prefill-prioritized iterations: newly admitted prompts are batched
+//     into one prefill pass (capped at MaxPrefillTokens) that runs instead
+//     of a decode iteration; its last-position logits yield each admitted
+//     request's first token (TTFT).
+//   - Decode iterations advance every running sequence one token. KV grows
+//     one token per sequence per iteration; on pool exhaustion the newest
+//     other sequence is preempted: its resident KV is swapped out through
+//     the protection mode's transfer path (PipeLLM's motivating cost — the
+//     copy rides software AES-GCM under tdx-h100 and the serialized bridge
+//     under tee-io-bridge), its blocks are freed, and it re-enters the
+//     waiting queue head to be swapped back in on re-admission.
+//   - Per-iteration link traffic is charged explicitly: token ids H2D,
+//     sampled ids D2H, prompt upload at prefill — small per step, but they
+//     ride the same contended link as swap traffic.
+//
+// schedule panics only on internal invariant violations (an unresolvable
+// mode after withDefaults normalized it, or a pool too small for a solo
+// sequence, which fitsEver already excluded).
+func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl []*request) Report {
+	backend, _ := nn.BackendByName(cfg.Backend)
+	mode, err := sys.ResolveMode()
+	if err != nil {
+		panic("serve: " + err.Error()) // cfg was normalized by withDefaults
+	}
+	hostStep, hostStepCC := nn.HostStepCost(backend)
+	hostCost := hostStep
+	if mode.MMIOTraps() {
+		hostCost += hostStepCC
+	}
+
+	tokenBytes := nn.LlamaKVTokenBytes
+	kv := newKVPool(cfg.KVCapBytes, tokenBytes, cfg.KVBlockTokens)
+
+	maxPrompt, maxSeqTokens := 0, 0
+	for _, s := range wl {
+		if s.promptTokens > maxPrompt {
+			maxPrompt = s.promptTokens
+		}
+		if t := s.promptTokens + s.outputTokens; t > maxSeqTokens {
+			maxSeqTokens = t
+		}
+	}
+	idsBytes := int64(cfg.MaxPrefillTokens+maxPrompt) * 4
+	if b := int64(cfg.MaxBatch) * 4; b > idsBytes {
+		idsBytes = b
+	}
+	swapBytes := int64(maxSeqTokens) * tokenBytes
+	if swapBytes < tokenBytes {
+		swapBytes = tokenBytes
+	}
+
+	eng := sim.NewEngine()
+	rt := cuda.New(eng, sys)
+	waiting := sim.NewQueue[*request](eng)
+	ready := sim.NewSignal(eng)
+
+	var (
+		rep        Report
+		running    []*request
+		genDone    bool
+		startAt    sim.Time
+		lastDoneAt sim.Time
+		tokensOut  int64
+		batchSum   int64
+	)
+
+	eng.Spawn("serve:generator", func(p *sim.Proc) {
+		ready.Wait(p)
+		for _, s := range wl {
+			p.Sleep(s.gap)
+			s.arrival = simTime(p.Now())
+			if waiting.Len() >= cfg.QueueDepth {
+				s.rejected = true
+				rep.Rejected++
+				continue
+			}
+			waiting.Put(s)
+		}
+		waiting.Put(nil) // sentinel: offered load is done
+	})
+
+	eng.Spawn("serve:scheduler", func(p *sim.Proc) {
+		c := rt.Bind(p)
+		// Model state resident before traffic starts: weights, the KV pool,
+		// token id staging, and the pinned swap buffer (which CC modes
+		// demote to the encrypted-paging path).
+		c.Malloc("weights", nn.WeightBytes(quant))
+		dKV := c.Malloc("kv-pool", int64(kv.totalBlocks)*kv.blockBytes)
+		dIO := c.Malloc("token-ids", idsBytes)
+		hIO := c.HostBuffer("token-ids-host", idsBytes)
+		hSwap := c.MallocHost("kv-swap", swapBytes)
+		startAt = p.Now()
+		ready.Fire()
+
+		preempt := func(v *request) {
+			bytes := int64(v.kvTokens) * tokenBytes
+			c.Memcpy(hSwap, dKV, bytes) // swap out D2H
+			kv.release(v)
+			v.swappedOut = true
+			v.preemptions++
+			rep.Preemptions++
+			rep.SwapOutBytes += bytes
+			waiting.PutFront(v)
+		}
+
+		for {
+			// Admission phase.
+			var admitted []*request
+			prefillTokens := 0
+			for len(running) < cfg.MaxBatch && prefillTokens < cfg.MaxPrefillTokens {
+				s, ok := waiting.TryGet()
+				if !ok {
+					break
+				}
+				if s == nil {
+					genDone = true
+					continue
+				}
+				if !kv.fitsEver(s.promptTokens + s.outputTokens) {
+					s.rejected = true
+					rep.Rejected++
+					continue
+				}
+				resident := s.promptTokens + s.generated
+				if s.swappedOut {
+					// Restore exactly the KV that was swapped out (a running
+					// sequence holds prompt+generated-1 resident tokens: the
+					// prefill's first token costs no growth).
+					resident = s.kvTokens
+				}
+				force := len(running) == 0
+				if !kv.admit(s, resident, force) {
+					waiting.PutFront(s)
+					break
+				}
+				if s.swappedOut {
+					// Swap the preempted KV back in (H2D) and resume decoding.
+					bytes := int64(s.kvTokens) * tokenBytes
+					c.Memcpy(dKV, hSwap, bytes)
+					rep.SwapInBytes += bytes
+					s.swappedOut = false
+					running = append(running, s)
+					continue
+				}
+				admitted = append(admitted, s)
+				running = append(running, s)
+				prefillTokens += s.promptTokens
+			}
+
+			switch {
+			case len(admitted) > 0:
+				// Prefill iteration over the admitted prompts.
+				rep.PrefillIters++
+				c.Memcpy(dIO, hIO, int64(prefillTokens)*4) // prompt ids H2D
+				p.Sleep(hostCost)
+				p.Sleep(model.prefill(prefillTokens))
+				c.Memcpy(hIO, dIO, int64(len(admitted))*4) // first tokens D2H
+				now := simTime(p.Now())
+				for _, a := range admitted {
+					a.firstTokenAt = now
+					a.generated = 1
+					tokensOut++
+					if a.generated >= a.outputTokens {
+						a.doneAt = now
+						kv.release(a)
+						rep.Completed++
+						lastDoneAt = p.Now()
+					}
+				}
+				keep := running[:0]
+				for _, s := range running {
+					if s.doneAt == 0 {
+						keep = append(keep, s)
+					}
+				}
+				running = keep
+
+			case len(running) > 0:
+				// Decode iteration: one token per running sequence.
+				rep.DecodeIters++
+				for i := 0; i < len(running); i++ {
+					s := running[i]
+					for !kv.grow(s) {
+						v := len(running) - 1
+						if running[v] == s {
+							v--
+						}
+						if v < 0 {
+							panic("serve: KV pool cannot hold a solo sequence") // excluded by fitsEver
+						}
+						victim := running[v]
+						running = append(running[:v], running[v+1:]...)
+						if v < i {
+							i--
+						}
+						preempt(victim)
+					}
+				}
+				batch := len(running)
+				c.Memcpy(dIO, hIO, int64(batch)*4) // fed-back token ids H2D
+				p.Sleep(hostCost)
+				p.Sleep(model.decode(batch))
+				c.Memcpy(hIO, dIO, int64(batch)*4) // sampled ids D2H
+				batchSum += int64(batch)
+				tokensOut += int64(batch)
+				now := simTime(p.Now())
+				keep := running[:0]
+				for _, s := range running {
+					s.generated++
+					if s.generated >= s.outputTokens {
+						s.doneAt = now
+						kv.release(s)
+						rep.Completed++
+						lastDoneAt = p.Now()
+					} else {
+						keep = append(keep, s)
+					}
+				}
+				running = keep
+
+			case genDone && waiting.Len() == 0:
+				return
+
+			default:
+				// Idle: block for the next arrival (or the sentinel).
+				if s := waiting.Get(p); s == nil {
+					genDone = true
+				} else {
+					waiting.PutFront(s)
+				}
+			}
+		}
+	})
+	eng.Run()
+
+	rep.Mode = cfg.Mode
+	rep.Backend = cfg.Backend
+	rep.Quant = cfg.Quant
+	rep.RateQPS = cfg.RateQPS
+	rep.Seed = cfg.Seed
+	rep.Offered = len(wl)
+	rep.Iterations = rep.PrefillIters + rep.DecodeIters
+	rep.MakespanSim = time.Duration(lastDoneAt - startAt)
+	rep.KVPeakBytes = kv.peakBytes()
+	rep.KVCapBytes = int64(kv.totalBlocks) * kv.blockBytes
+	rep.QueuePeakDepth = waiting.MaxDepth()
+	rep.SLOTTFT = cfg.SLO.TTFT
+	rep.SLOTPOT = cfg.SLO.TPOT
+	if rep.DecodeIters > 0 {
+		rep.AvgDecodeBatch = float64(batchSum) / float64(rep.DecodeIters)
+	}
+	if rep.MakespanSim > 0 {
+		rep.ThroughputQPS = float64(rep.Completed) / rep.MakespanSim.Seconds()
+		rep.TokensPerSec = float64(tokensOut) / rep.MakespanSim.Seconds()
+	}
+
+	var ttft, tpot, e2e Histogram
+	attained := 0
+	for _, s := range wl {
+		if s.rejected {
+			continue
+		}
+		t := time.Duration(s.firstTokenAt - s.arrival)
+		e := time.Duration(s.doneAt - s.arrival)
+		ttft.Record(t)
+		e2e.Record(e)
+		ok := t <= cfg.SLO.TTFT
+		if s.outputTokens > 1 {
+			per := time.Duration(s.doneAt-s.firstTokenAt) / time.Duration(s.outputTokens-1)
+			tpot.Record(per)
+			ok = ok && per <= cfg.SLO.TPOT
+		}
+		if ok {
+			attained++
+		}
+	}
+	rep.SLOAttainment = float64(attained) / float64(rep.Offered)
+	rep.TTFT = summarize(&ttft)
+	rep.TPOT = summarize(&tpot)
+	rep.E2E = summarize(&e2e)
+	return rep
+}

@@ -49,6 +49,31 @@ func (q *Queue[T]) Put(item T) {
 	}
 }
 
+// PutFront inserts an item at the head of the queue, ahead of everything
+// already queued, and wakes one blocked getter like Put. Schedulers use it
+// to return a deferred or preempted item to the front so the original FIFO
+// admission order is preserved.
+func (q *Queue[T]) PutFront(item T) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = item
+	} else {
+		var zero T
+		q.items = append(q.items, zero)
+		copy(q.items[1:], q.items)
+		q.items[0] = item
+	}
+	q.puts++
+	if q.Len() > q.maxDepth {
+		q.maxDepth = q.Len()
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+}
+
 // take removes and returns the oldest item; the queue must be non-empty.
 // The vacated slot is zeroed so the queue never pins consumed items, and
 // the window resets to the front of the backing array on drain.

@@ -129,3 +129,42 @@ func TestQueueGetReleasesConsumedItems(t *testing.T) {
 		t.Fatal("consumed slot still references its item")
 	}
 }
+
+func TestQueuePutFrontOrdersAheadAndWakesGetter(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e)
+
+	// Front insertion into a populated queue, into a partially consumed
+	// window (head > 0), and into an empty queue with a blocked getter.
+	var got []string
+	e.Spawn("c", func(p *Proc) {
+		q.Put("b")
+		q.Put("c")
+		q.PutFront("a") // ahead of b, c
+		got = append(got, q.Get(p), q.Get(p))
+		q.PutFront("b2") // head > 0: reuses the consumed slot
+		got = append(got, q.Get(p), q.Get(p))
+		for i := 0; i < 2; i++ {
+			got = append(got, q.Get(p)) // blocks; producer wakes via PutFront
+		}
+	})
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		q.PutFront("x")
+		p.Sleep(time.Microsecond)
+		q.PutFront("y")
+	})
+	e.Run()
+	want := []string{"a", "b", "b2", "c", "x", "y"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if q.Puts() != 6 {
+		t.Fatalf("puts=%d, want 6", q.Puts())
+	}
+}
