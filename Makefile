@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check lint golden check bench bench-baseline bench-check report sweep-demo clean
+.PHONY: all build test race vet fmt-check lint lint-fix golden check bench bench-baseline bench-check report sweep-demo clean
 
 all: check
 
@@ -27,9 +27,15 @@ fmt-check:
 	fi
 
 # hcclint enforces the repo's determinism, cache-key completeness, unit-
-# suffix, and panic-policy invariants (see internal/analysis).
+# suffix, unit-flow, and panic-policy invariants (see internal/analysis).
+# lint.baseline records accepted pre-existing findings (currently none).
 lint:
-	$(GO) run ./cmd/hcclint ./...
+	$(GO) run ./cmd/hcclint -baseline lint.baseline ./...
+
+# Apply hcclint's suggested fixes (unit-suffix renames, //hcclint:unit
+# annotation inserts) in place; CI fails if this leaves the tree dirty.
+lint-fix:
+	$(GO) run ./cmd/hcclint -baseline lint.baseline -fix ./...
 
 # Byte-identity gate for the protection-mode layer: every committed figure
 # golden, plus the cross-mode spelling-equivalence tests (off/tdx-h100

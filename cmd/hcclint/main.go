@@ -1,87 +1,273 @@
 // Command hcclint runs hccsim's project-specific static-analysis passes
 // (internal/analysis) over the module: nondeterminism, hashcomplete,
-// unitsuffix, and panicpolicy — the invariants behind bit-reproducible
-// figures and sound sweep caching. It exits non-zero on any diagnostic, so
-// `make check` (and CI) fail the build.
+// unitsuffix, unitflow, and panicpolicy — the invariants behind
+// bit-reproducible figures and sound sweep caching. It exits non-zero on
+// any diagnostic, so `make check` (and CI) fail the build.
 //
 // Usage:
 //
-//	hcclint [-list] [packages]
+//	hcclint [flags] [packages]
 //
-// With no arguments it analyzes ./... from the module root (found by
-// walking up from the working directory). Diagnostics print as
-// "file:line: [analyzer] message". Suppress one with an explained
-// directive on, or directly above, the offending line:
+//	-list            list the analyzers and exit
+//	-fix             apply suggested fixes (renames, annotation inserts),
+//	                 write the changed files, and re-analyze
+//	-format FORMAT   text (default), json, or github (workflow ::error
+//	                 annotations)
+//	-baseline FILE   filter findings through an accepted-debt baseline
+//	-update-baseline rewrite the -baseline file from the current findings
+//	-parallel N      packages analyzed concurrently (default GOMAXPROCS)
+//
+// With no package arguments it analyzes ./... from the module root (found
+// by walking up from the working directory). Diagnostics print as
+// "file:line: [analyzer] message" and are byte-identical at any -parallel
+// value. Suppress one with an explained directive on, or directly above,
+// the offending line:
 //
 //	//hcclint:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 findings (or packages that fail to type-check),
+// 2 usage or internal error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 
 	"hccsim/internal/analysis"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
-	if *list {
-		for _, a := range analysis.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-	if err := run(flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "hcclint:", err)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(patterns []string) error {
+type options struct {
+	list           bool
+	fix            bool
+	format         string
+	baselinePath   string
+	updateBaseline bool
+	parallel       int
+	patterns       []string
+}
+
+// run is the whole driver; main only binds it to the process. It returns
+// the exit status so tests can drive it against fixture modules.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hcclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var opts options
+	fs.BoolVar(&opts.list, "list", false, "list the analyzers and exit")
+	fs.BoolVar(&opts.fix, "fix", false, "apply suggested fixes, write the changed files, and re-analyze")
+	fs.StringVar(&opts.format, "format", "text", "output format: text, json, or github")
+	fs.StringVar(&opts.baselinePath, "baseline", "", "filter findings through this accepted-debt baseline file")
+	fs.BoolVar(&opts.updateBaseline, "update-baseline", false, "rewrite the -baseline file from the current findings and exit 0")
+	fs.IntVar(&opts.parallel, "parallel", runtime.GOMAXPROCS(0), "number of packages analyzed concurrently")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts.patterns = fs.Args()
+
+	if opts.list {
+		for _, a := range analysis.All {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	switch opts.format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "hcclint: unknown -format %q (want text, json, or github)\n", opts.format)
+		return 2
+	}
+	if opts.updateBaseline && opts.baselinePath == "" {
+		fmt.Fprintln(stderr, "hcclint: -update-baseline requires -baseline FILE")
+		return 2
+	}
+	// Resolve the baseline path before the module-root chdir below, so a
+	// relative -baseline given from a subdirectory still lands.
+	if opts.baselinePath != "" {
+		abs, err := filepath.Abs(opts.baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "hcclint:", err)
+			return 2
+		}
+		opts.baselinePath = abs
+	}
+
+	code, err := lint(opts, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hcclint:", err)
+		return 2
+	}
+	return code
+}
+
+func lint(opts options, stdout, stderr io.Writer) (int, error) {
+	patterns := opts.patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	root, err := moduleRoot()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// The stdlib source importer resolves module imports relative to the
 	// working directory; anchor it.
 	if err := os.Chdir(root); err != nil {
-		return err
+		return 0, err
 	}
-	loader := analysis.NewLoader()
-	pkgs, err := loader.Load(root, patterns...)
+
+	pkgs, diags, broken, err := analyze(root, patterns, opts.parallel, stderr)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	broken := false
+	if broken {
+		return 1, nil
+	}
+
+	if opts.fix {
+		applied, err := applyFixes(pkgs, diags, stderr)
+		if err != nil {
+			return 0, err
+		}
+		if applied > 0 {
+			// The fixed files are new source: reload and re-analyze so the
+			// reported findings (and the exit status) describe the tree as
+			// it now stands on disk.
+			pkgs, diags, broken, err = analyze(root, patterns, opts.parallel, stderr)
+			if err != nil {
+				return 0, err
+			}
+			if broken {
+				return 1, nil
+			}
+		}
+	}
+
+	if opts.baselinePath != "" {
+		if opts.updateBaseline {
+			if err := os.WriteFile(opts.baselinePath, analysis.FormatBaseline(root, diags), 0o644); err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(stderr, "hcclint: wrote %d finding(s) to %s\n", len(diags), opts.baselinePath)
+			return 0, nil
+		}
+		data, err := os.ReadFile(opts.baselinePath)
+		if err != nil {
+			return 0, err
+		}
+		var stale []string
+		diags, stale = analysis.ParseBaseline(data).Filter(root, diags)
+		for _, entry := range stale {
+			fmt.Fprintf(stderr, "hcclint: stale baseline entry (fixed debt — delete the line): %s\n", entry)
+		}
+	}
+
+	if err := printDiags(stdout, root, opts.format, diags); err != nil {
+		return 0, err
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hcclint: %d diagnostic(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// analyze loads the packages and runs every analyzer. broken reports
+// packages that fail to type-check (already printed to stderr).
+func analyze(root string, patterns []string, parallel int, stderr io.Writer) (pkgs []*analysis.Package, diags []analysis.Diagnostic, broken bool, err error) {
+	pkgs, err = analysis.NewLoader().Load(root, patterns...)
+	if err != nil {
+		return nil, nil, false, err
+	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "hcclint: %s does not type-check: %v\n", pkg.Path, terr)
+			fmt.Fprintf(stderr, "hcclint: %s does not type-check: %v\n", pkg.Path, terr)
 			broken = true
 			break // one per package is enough to fail the run
 		}
 	}
 	if broken {
-		os.Exit(1)
+		return pkgs, nil, true, nil
 	}
-	diags := analysis.Run(pkgs, analysis.All)
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
-			file = rel
+	return pkgs, analysis.RunParallel(pkgs, analysis.All, parallel), false, nil
+}
+
+// applyFixes expands the suggested fixes carried by diags and writes the
+// changed files back to disk, preserving each file's mode.
+func applyFixes(pkgs []*analysis.Package, diags []analysis.Diagnostic, stderr io.Writer) (int, error) {
+	files, applied, err := analysis.ApplyFixes(pkgs, diags)
+	if err != nil {
+		return 0, err
+	}
+	for name, content := range files {
+		mode := fs.FileMode(0o644)
+		if st, err := os.Stat(name); err == nil {
+			mode = st.Mode().Perm()
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Analyzer, d.Message)
+		if err := os.WriteFile(name, content, mode); err != nil {
+			return 0, err
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "hcclint: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+	fmt.Fprintf(stderr, "hcclint: applied %d fix(es) to %d file(s)\n", applied, len(files))
+	return applied, nil
+}
+
+func printDiags(w io.Writer, root, format string, diags []analysis.Diagnostic) error {
+	switch format {
+	case "json":
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+			Fixable  bool   `json:"fixable"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Fixable:  len(d.Fixes) > 0,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case "github":
+		// GitHub Actions workflow commands: properties escape %, CR, LF,
+		// ':' and ','; the message escapes %, CR, LF.
+		prop := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C")
+		data := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+		for _, d := range diags {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+				prop.Replace(relPath(root, d.Pos.Filename)), d.Pos.Line, d.Pos.Column,
+				prop.Replace("hcclint/"+d.Analyzer), data.Replace(d.Message))
+		}
+	default: // text
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s:%d: [%s] %s\n", relPath(root, d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
 	}
 	return nil
+}
+
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

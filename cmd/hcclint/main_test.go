@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Fixture modules are named hccsim so analysis.Classify treats their
+// packages as library scope — analyzers like unitsuffix only fire there.
+const goMod = "module hccsim\n\ngo 1.24\n"
+
+// cleanModule has nothing to report.
+var cleanModule = map[string]string{
+	"go.mod": goMod,
+	"internal/ok/ok.go": `package ok
+
+// Add returns a + b.
+func Add(a, b int) int { return a + b }
+`,
+}
+
+// findingsModule produces two unitsuffix findings in each of two packages,
+// exercising multi-package merge order.
+var findingsModule = map[string]string{
+	"go.mod": goMod,
+	"internal/alpha/alpha.go": `package alpha
+
+// Params holds link calibration knobs.
+type Params struct {
+	CopyLatency int
+	BufSize     int64
+}
+`,
+	"internal/beta/beta.go": `package beta
+
+// Config holds pool knobs.
+type Config struct {
+	PoolCapacity int64
+	DrainRate    float64
+}
+`,
+}
+
+// fixModule carries one finding with a rename fix: the annotated knob is
+// renamed CopyLatency -> CopyLatencyNS by -fix, after which the tree is
+// clean, so a second -fix run must change nothing.
+var fixModule = map[string]string{
+	"go.mod": goMod,
+	"internal/link/link.go": `package link
+
+// Params holds link calibration knobs.
+type Params struct {
+	// CopyLatency is the per-copy launch cost.
+	//
+	//hcclint:unit NS
+	CopyLatency int
+}
+`,
+}
+
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runLint drives run() from inside dir, capturing both streams.
+func runLint(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	t.Chdir(dir)
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, cleanModule)
+	code, stdout, stderr := runLint(t, dir)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout)
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, findingsModule)
+	code, stdout, stderr := runLint(t, dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "no unit suffix") {
+		t.Errorf("stdout lacks the unitsuffix finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "4 diagnostic(s)") {
+		t.Errorf("stderr lacks the summary count:\n%s", stderr)
+	}
+}
+
+func TestExitCodeUsage(t *testing.T) {
+	dir := writeModule(t, cleanModule)
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-format", "xml"},
+		{"-update-baseline"}, // requires -baseline FILE
+	} {
+		code, _, _ := runLint(t, dir, args...)
+		if code != 2 {
+			t.Errorf("run(%v) exit %d, want 2", args, code)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"nondeterminism", "hashcomplete", "unitsuffix", "unitflow", "panicpolicy"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestParallelOrdering checks the driver's determinism contract: the
+// diagnostic stream is byte-identical at any -parallel value.
+func TestParallelOrdering(t *testing.T) {
+	dir := writeModule(t, findingsModule)
+	code1, serial, _ := runLint(t, dir, "-parallel", "1")
+	code8, parallel, _ := runLint(t, dir, "-parallel", "8")
+	if code1 != 1 || code8 != 1 {
+		t.Fatalf("exits %d/%d, want 1/1", code1, code8)
+	}
+	if serial != parallel {
+		t.Errorf("output differs between -parallel 1 and -parallel 8:\n--- serial\n%s--- parallel\n%s", serial, parallel)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	dir := writeModule(t, findingsModule)
+	code, stdout, stderr := runLint(t, dir, "-format", "json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Fixable  bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4: %s", len(diags), stdout)
+	}
+	first := diags[0]
+	if first.File != "internal/alpha/alpha.go" || first.Line == 0 || first.Analyzer != "unitsuffix" {
+		t.Errorf("unexpected first finding: %+v", first)
+	}
+}
+
+func TestGitHubFormat(t *testing.T) {
+	dir := writeModule(t, findingsModule)
+	code, stdout, _ := runLint(t, dir, "-format", "github")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d annotation lines, want 4:\n%s", len(lines), stdout)
+	}
+	if !strings.HasPrefix(lines[0], "::error file=internal/alpha/alpha.go,line=") {
+		t.Errorf("unexpected annotation line: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "title=hcclint/unitsuffix::") {
+		t.Errorf("annotation lacks the analyzer title: %s", lines[0])
+	}
+}
+
+// TestFixIdempotent applies the annotated rename, checks the tree comes out
+// clean, and verifies a second -fix run is a no-op on disk.
+func TestFixIdempotent(t *testing.T) {
+	dir := writeModule(t, fixModule)
+	src := filepath.Join(dir, "internal", "link", "link.go")
+
+	code, stdout, stderr := runLint(t, dir, "-fix")
+	if code != 0 {
+		t.Fatalf("first -fix exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "applied 1 fix(es)") {
+		t.Errorf("stderr lacks the applied count:\n%s", stderr)
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "CopyLatencyNS int") {
+		t.Errorf("fix did not rename the knob:\n%s", fixed)
+	}
+
+	code, _, stderr = runLint(t, dir, "-fix")
+	if code != 0 {
+		t.Fatalf("second -fix exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	again, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, again) {
+		t.Errorf("second -fix changed the file:\n--- after first\n%s--- after second\n%s", fixed, again)
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	dir := writeModule(t, findingsModule)
+	base := filepath.Join(dir, "lint.baseline")
+
+	code, _, stderr := runLint(t, dir, "-baseline", base, "-update-baseline")
+	if code != 0 {
+		t.Fatalf("-update-baseline exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "[unitsuffix]"); n != 4 {
+		t.Fatalf("baseline records %d findings, want 4:\n%s", n, data)
+	}
+
+	// All findings covered: the run is clean.
+	code, stdout, stderr := runLint(t, dir, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("baselined run exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run printed findings:\n%s", stdout)
+	}
+
+	// An entry matching nothing is stale debt; the driver says so.
+	if err := os.WriteFile(base, append(data, "internal/gone/gone.go: [unitsuffix] ghost finding\n"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runLint(t, dir, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("stale-entry run exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") {
+		t.Errorf("stderr lacks the stale-entry warning:\n%s", stderr)
+	}
+}

@@ -1,6 +1,6 @@
 // Package analysis is hccsim's project-specific static-analysis engine: a
 // small analyzer framework on the standard library's go/ast + go/types
-// (zero external dependencies, so it runs offline) plus the four invariant
+// (zero external dependencies, so it runs offline) plus the five invariant
 // checks behind `make check`:
 //
 //	nondeterminism  deterministic packages must not read the wall clock,
@@ -14,6 +14,11 @@
 //	                calibration types must carry a unit suffix (NS, GBps,
 //	                Bytes, Pages, ...), since Go's type system cannot catch
 //	                an ns-vs-µs mix-up on a bare int.
+//	unitflow        dimensional analysis over go/types: units seeded from
+//	                suffixes, time.Duration, and //hcclint:unit annotations
+//	                are propagated through expressions, and mixed-unit
+//	                arithmetic, wrong-unit assignments/arguments/returns,
+//	                and open-coded scale conversions are reported.
 //	panicpolicy     library code may only panic from Must*-named helpers or
 //	                functions whose doc comment states the panic contract;
 //	                everything else returns an error.
@@ -23,9 +28,9 @@
 //
 //	//hcclint:ignore <analyzer> <reason>
 //
-// The reason is mandatory: a suppression without one, or one that matches
-// no diagnostic, is itself reported (as analyzer "hcclint"). cmd/hcclint is
-// the command-line driver.
+// The reason is mandatory: a suppression without one, one that names no
+// known analyzer, or one that matches no diagnostic is itself reported (as
+// analyzer "hcclint"). cmd/hcclint is the command-line driver.
 package analysis
 
 import (
@@ -33,16 +38,35 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Diagnostic is one finding: a position, the analyzer that produced it, and
-// a message. The driver renders it as "file:line: [analyzer] message".
+// Diagnostic is one finding: a position, the analyzer that produced it, a
+// message, and optionally machine-applicable fixes. The driver renders it
+// as "file:line: [analyzer] message".
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes are optional edits that resolve the finding; cmd/hcclint -fix
+	// applies them (see ApplyFixes).
+	Fixes []SuggestedFix
+}
+
+// key is the identity of a diagnostic for dedupe and suppression — fixes
+// do not participate.
+func (d Diagnostic) key() diagKey {
+	return diagKey{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+}
+
+type diagKey struct {
+	file      string
+	line, col int
+	analyzer  string
+	message   string
 }
 
 func (d Diagnostic) String() string {
@@ -60,7 +84,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer in the order the driver runs them.
-var All = []*Analyzer{Nondeterminism, HashComplete, UnitSuffix, PanicPolicy}
+var All = []*Analyzer{Nondeterminism, HashComplete, UnitSuffix, UnitFlow, PanicPolicy}
 
 // Pass hands one package to one analyzer.
 type Pass struct {
@@ -74,9 +98,13 @@ type Pass struct {
 	// Deterministic marks packages whose outputs must be bit-reproducible
 	// (see DeterministicPackages); nondeterminism only fires in these.
 	Deterministic bool
-	// Library marks non-main module packages; panicpolicy and unitsuffix
-	// only fire in these.
+	// Library marks non-main module packages; panicpolicy, unitsuffix, and
+	// unitflow only fire in these.
 	Library bool
+	// Units is the module-wide //hcclint:unit annotation index, built once
+	// per Run from every loaded package so annotations propagate across
+	// package boundaries.
+	Units *UnitIndex
 
 	out *[]Diagnostic
 }
@@ -87,6 +115,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a diagnostic carrying a machine-applicable fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
 	})
 }
 
@@ -115,26 +153,53 @@ func Classify(path string) (deterministic, library bool) {
 }
 
 // Run executes the analyzers over the packages, applies suppression
-// directives, and returns the surviving diagnostics sorted by position.
+// directives, and returns the surviving diagnostics sorted by position. It
+// parallelizes per package across GOMAXPROCS workers; see RunParallel.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunParallel(pkgs, analyzers, runtime.GOMAXPROCS(0))
+}
+
+// RunParallel is Run with an explicit worker count. Packages are analyzed
+// concurrently (the shared FileSet and type info are read-only by then);
+// diagnostics are collected per package and merged in package order, then
+// sorted, so the output is byte-identical at any parallelism.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	if workers < 1 {
+		workers = 1
+	}
+	units := BuildUnitIndex(pkgs)
+	perPkg := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, a := range analyzers {
+				a.Run(&Pass{
+					Analyzer:      a,
+					Fset:          pkg.Fset,
+					Files:         pkg.Files,
+					Pkg:           pkg.Pkg,
+					Info:          pkg.Info,
+					Path:          pkg.Path,
+					Deterministic: pkg.Deterministic,
+					Library:       pkg.Library,
+					Units:         units,
+					out:           &perPkg[i],
+				})
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{
-				Analyzer:      a,
-				Fset:          pkg.Fset,
-				Files:         pkg.Files,
-				Pkg:           pkg.Pkg,
-				Info:          pkg.Info,
-				Path:          pkg.Path,
-				Deterministic: pkg.Deterministic,
-				Library:       pkg.Library,
-				out:           &diags,
-			})
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	diags = dedupe(diags)
-	diags = applySuppressions(pkgs, diags)
+	diags = applySuppressions(pkgs, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -154,13 +219,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // dedupe drops exact repeats — hashcomplete anchors findings on field
 // declarations, which several marshal sites can reach.
 func dedupe(diags []Diagnostic) []Diagnostic {
-	seen := make(map[Diagnostic]bool, len(diags))
+	seen := make(map[diagKey]bool, len(diags))
 	out := diags[:0]
 	for _, d := range diags {
-		if seen[d] {
+		if seen[d.key()] {
 			continue
 		}
-		seen[d] = true
+		seen[d.key()] = true
 		out = append(out, d)
 	}
 	return out
@@ -178,9 +243,19 @@ const directivePrefix = "hcclint:ignore"
 
 // applySuppressions filters diagnostics covered by an ignore directive on
 // the same or the preceding line, and reports directive-hygiene problems
-// (missing reason, directive that suppresses nothing) as diagnostics of the
-// pseudo-analyzer "hcclint".
-func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+// (missing reason, unknown analyzer name, directive that suppresses
+// nothing) as diagnostics of the pseudo-analyzer "hcclint". The
+// known-analyzer check matters because a typo'd name otherwise suppresses
+// nothing silently — and when a finding happens to coincide on the line,
+// the directive is never even flagged as unused.
+func applySuppressions(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{"hcclint": true}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	byLine := make(map[string][]*directive) // "file:line" -> directives
 	var all []*directive
 	for _, pkg := range pkgs {
@@ -225,6 +300,9 @@ func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	}
 	for _, d := range all {
 		switch {
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "hcclint",
+				Message: fmt.Sprintf("suppression names unknown analyzer %q (known: %s) and suppresses nothing", d.analyzer, strings.Join(knownNames(known), ", "))})
 		case d.reason == "":
 			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "hcclint",
 				Message: fmt.Sprintf("suppression of %q needs a reason: //hcclint:ignore %s <why this is safe>", d.analyzer, d.analyzer)})
@@ -234,6 +312,15 @@ func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 		}
 	}
 	return out
+}
+
+func knownNames(known map[string]bool) []string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // pkgFunc reports whether the call/selector expression resolves to the

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitAnnotation is the //hcclint:unit directive prefix. The directive
+// declares the unit of the const, var, struct field, or function result it
+// is attached to (same line or the line directly above the declared name):
+//
+//	//hcclint:unit NS
+//	BridgeLatency float64
+//
+// On a func declaration it names the unit of the (single) result — which
+// also marks the function a blessed conversion helper: open-coded scale
+// constants inside its body are sanctioned (see UnitFlow).
+const unitAnnotation = "hcclint:unit"
+
+// UnitIndex is the module-wide map from declaration positions to annotated
+// units, built once per Run so //hcclint:unit annotations propagate across
+// package boundaries (an annotated pcie field keeps its unit when cuda
+// reads it). Identity is (file, line, column) of the declared identifier —
+// stable between a directly-checked package and the source importer's view
+// of it, which share the FileSet but not object pointers.
+type UnitIndex struct {
+	byPos map[posKey]string
+	// bad records annotations naming no known unit; UnitFlow reports each
+	// one from the pass that owns its file.
+	bad []badAnnot
+}
+
+type posKey struct {
+	file      string
+	line, col int
+}
+
+type badAnnot struct {
+	pos  token.Position
+	unit string
+}
+
+// Lookup returns the annotated unit name for the object, if any.
+func (ix *UnitIndex) Lookup(fset *token.FileSet, obj types.Object) (string, bool) {
+	if ix == nil || obj == nil || !obj.Pos().IsValid() {
+		return "", false
+	}
+	p := fset.Position(obj.Pos())
+	u, ok := ix.byPos[posKey{p.Filename, p.Line, p.Column}]
+	return u, ok
+}
+
+// BuildUnitIndex scans every loaded file for //hcclint:unit annotations and
+// binds each to the declaration on its line or the line below.
+func BuildUnitIndex(pkgs []*Package) *UnitIndex {
+	ix := &UnitIndex{byPos: make(map[posKey]string)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// annotation line -> unit name, for this file.
+			byLine := make(map[int]string)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, unitAnnotation)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					name := strings.TrimSpace(rest)
+					if canonicalUnit(name) == "" {
+						ix.bad = append(ix.bad, badAnnot{pos: pos, unit: name})
+						continue
+					}
+					byLine[pos.Line] = canonicalUnit(name)
+				}
+			}
+			if len(byLine) == 0 {
+				continue
+			}
+			bind := func(name *ast.Ident) {
+				p := pkg.Fset.Position(name.Pos())
+				u, ok := byLine[p.Line]
+				if !ok {
+					u, ok = byLine[p.Line-1]
+				}
+				if ok {
+					ix.byPos[posKey{p.Filename, p.Line, p.Column}] = u
+				}
+			}
+			// Bind const/var names, struct fields, and func names — but not
+			// params or results, whose line can coincide with a func
+			// annotation that means the result unit, not theirs.
+			for _, decl := range f.Decls {
+				switch decl := decl.(type) {
+				case *ast.FuncDecl:
+					bind(decl.Name)
+				case *ast.GenDecl:
+					for _, spec := range decl.Specs {
+						switch spec := spec.(type) {
+						case *ast.ValueSpec:
+							for _, name := range spec.Names {
+								bind(name)
+							}
+						case *ast.TypeSpec:
+							ast.Inspect(spec.Type, func(n ast.Node) bool {
+								if st, ok := n.(*ast.StructType); ok {
+									for _, field := range st.Fields.List {
+										for _, name := range field.Names {
+											bind(name)
+										}
+									}
+								}
+								return true
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}

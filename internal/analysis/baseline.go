@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the set of accepted pre-existing findings: new analyzers land
+// strict-on-new-code while the recorded debt burns down. The format is one
+// finding per line,
+//
+//	relative/path.go: [analyzer] message
+//
+// with '#' comments and blank lines ignored. Entries are deliberately
+// line-number-free so unrelated edits to a file do not invalidate them; a
+// duplicate entry accepts that many identical findings in the file.
+type Baseline struct {
+	counts map[string]int
+	order  []string
+}
+
+// baselineKey is the identity of a finding inside a baseline file.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s: [%s] %s", file, d.Analyzer, d.Message)
+}
+
+// ParseBaseline reads a baseline file's contents.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{counts: make(map[string]int)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if b.counts[line] == 0 {
+			b.order = append(b.order, line)
+		}
+		b.counts[line]++
+	}
+	return b
+}
+
+// Filter splits diags into the findings not covered by the baseline and
+// reports entries that matched nothing (stale debt that should be deleted).
+// Matching consumes entries, so n identical findings need n entries.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (kept []Diagnostic, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		k := baselineKey(root, d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, k := range b.order {
+		if remaining[k] > 0 {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return kept, stale
+}
+
+// FormatBaseline renders diags as a baseline file, sorted and annotated
+// with a header explaining the contract.
+func FormatBaseline(root string, diags []Diagnostic) []byte {
+	var sb strings.Builder
+	sb.WriteString("# hcclint baseline: accepted pre-existing findings, one per line\n")
+	sb.WriteString("# (relative/path.go: [analyzer] message). Regenerate with\n")
+	sb.WriteString("# `go run ./cmd/hcclint -update-baseline lint.baseline ./...`;\n")
+	sb.WriteString("# fix debt and delete lines, never add new ones by hand.\n")
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(root, d))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement in one file.
+type TextEdit struct {
+	Filename   string
+	Start, End int // byte offsets, [Start, End)
+	NewText    string
+}
+
+// Rename is a semantic rename: the driver expands it into TextEdits at the
+// defining identifier and every use across all loaded packages (identified
+// by object position, which is stable across the shared FileSet even when
+// the source importer re-parses a file). Uses in _test.go files are not
+// loaded and therefore not rewritten — renames of test-referenced symbols
+// need a follow-up gofmt -r or manual pass.
+type Rename struct {
+	Obj types.Object
+	To  string
+}
+
+// SuggestedFix is a machine-applicable resolution for a diagnostic,
+// applied by cmd/hcclint -fix.
+type SuggestedFix struct {
+	// Message describes the fix ("rename to CopyLatencyNS").
+	Message string
+	// Edits are literal byte edits.
+	Edits []TextEdit
+	// Rename, when set, is expanded to def+uses edits at apply time.
+	Rename *Rename
+}
+
+// Edit builds a TextEdit replacing [pos, end) with newText.
+func (p *Pass) Edit(pos, end token.Pos, newText string) TextEdit {
+	from := p.Fset.Position(pos)
+	to := p.Fset.Position(end)
+	return TextEdit{Filename: from.Filename, Start: from.Offset, End: to.Offset, NewText: newText}
+}
+
+// InsertLineAbove builds a TextEdit inserting a full line (text + newline)
+// above the line containing pos, indented like that line.
+func (p *Pass) InsertLineAbove(pos token.Pos, text string) TextEdit {
+	at := p.Fset.Position(pos)
+	lineStart := at.Offset - (at.Column - 1)
+	indent := ""
+	for i := 1; i < at.Column; i++ {
+		indent += "\t" // declaration lines in gofmt'ed code indent with tabs
+	}
+	return TextEdit{Filename: at.Filename, Start: lineStart, End: lineStart, NewText: indent + text + "\n"}
+}
+
+// ApplyFixes expands and applies every suggested fix carried by diags,
+// returning the new contents of each changed file (keyed by filename) and
+// the number of fixes applied. Overlapping edits are resolved by dropping
+// later fixes (deterministically, in diagnostic order); identical duplicate
+// edits collapse. Nothing is written to disk — the caller owns that.
+func ApplyFixes(pkgs []*Package, diags []Diagnostic) (map[string][]byte, int, error) {
+	type span struct {
+		Start, End int
+		NewText    string
+	}
+	perFile := make(map[string][]span)
+	seen := make(map[TextEdit]bool)
+	applied := 0
+	overlaps := func(edits []TextEdit) bool {
+		for _, e := range edits {
+			for _, s := range perFile[e.Filename] {
+				if e.Start < s.End && s.Start < e.End && !(e.Start == s.Start && e.End == s.End && e.NewText == s.NewText) {
+					return true
+				}
+				// Two distinct insertions at the same point would apply in
+				// arbitrary order; keep the first.
+				if e.Start == e.End && s.Start == s.End && e.Start == s.Start && e.NewText != s.NewText {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			edits := fix.Edits
+			if fix.Rename != nil {
+				edits = append(edits[:len(edits):len(edits)], expandRename(pkgs, fix.Rename)...)
+			}
+			if len(edits) == 0 || overlaps(edits) {
+				continue
+			}
+			fresh := false
+			for _, e := range edits {
+				if !seen[e] {
+					seen[e] = true
+					perFile[e.Filename] = append(perFile[e.Filename], span{e.Start, e.End, e.NewText})
+					fresh = true
+				}
+			}
+			if fresh {
+				applied++
+			}
+		}
+	}
+	out := make(map[string][]byte, len(perFile))
+	for file, spans := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start > spans[j].Start })
+		for _, s := range spans {
+			if s.Start < 0 || s.End > len(src) || s.Start > s.End {
+				return nil, 0, fmt.Errorf("analysis: edit [%d,%d) out of range for %s", s.Start, s.End, file)
+			}
+			src = append(src[:s.Start], append([]byte(s.NewText), src[s.End:]...)...)
+		}
+		out[file] = src
+	}
+	return out, applied, nil
+}
+
+// expandRename finds the defining identifier and every use of the renamed
+// object across the loaded packages. Objects loaded through the source
+// importer are distinct from the directly-checked ones, so identity is
+// taken from (position, name) rather than pointer equality.
+func expandRename(pkgs []*Package, r *Rename) []TextEdit {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	fset := pkgs[0].Fset
+	target := fset.Position(r.Obj.Pos())
+	old := r.Obj.Name()
+	samePos := func(p token.Position) bool {
+		return p.Filename == target.Filename && p.Line == target.Line && p.Column == target.Column
+	}
+	var edits []TextEdit
+	add := func(pos, end token.Pos) {
+		from := fset.Position(pos)
+		to := fset.Position(end)
+		edits = append(edits, TextEdit{Filename: from.Filename, Start: from.Offset, End: to.Offset, NewText: r.To})
+	}
+	for _, pkg := range pkgs {
+		for id, obj := range pkg.Info.Defs {
+			if obj != nil && id.Name == old && samePos(fset.Position(obj.Pos())) {
+				add(id.Pos(), id.End())
+			}
+		}
+		for id, obj := range pkg.Info.Uses {
+			if obj != nil && id.Name == old && samePos(fset.Position(obj.Pos())) {
+				add(id.Pos(), id.End())
+			}
+		}
+	}
+	return edits
+}

@@ -16,6 +16,7 @@ import (
 func TestNondeterminismFixtures(t *testing.T) { testFixture(t, Nondeterminism, "nondeterminism") }
 func TestHashCompleteFixtures(t *testing.T)   { testFixture(t, HashComplete, "hashcomplete") }
 func TestUnitSuffixFixtures(t *testing.T)     { testFixture(t, UnitSuffix, "unitsuffix") }
+func TestUnitFlowFixtures(t *testing.T)       { testFixture(t, UnitFlow, "unitflow") }
 func TestPanicPolicyFixtures(t *testing.T)    { testFixture(t, PanicPolicy, "panicpolicy") }
 
 type expectation struct {

@@ -1,0 +1,104 @@
+// Package fixture exercises the unitflow dimensional-analysis checks: units
+// seeded from name suffixes, time.Duration, and //hcclint:unit annotations
+// are propagated through expressions and checked at every combination point.
+package fixture
+
+import "time"
+
+// step's result unit comes from the annotation alone — the name says
+// nothing; callers below prove the unit propagates through the call.
+//
+//hcclint:unit MS
+func step() float64 { return 1.5 }
+
+// pages is a blessed converter: the annotation declares the result unit and
+// sanctions the internal scale constants and the cross-dimension return.
+//
+//hcclint:unit Pages
+func pages(nBytes int64) int64 { return (nBytes + 4095) / 4096 }
+
+func sleepNS(latencyNS int64) { _ = latencyNS }
+
+func mixedAdd(latNS, latUS int64) {
+	sum := latNS + latUS // want `US value added to NS value: mixed units`
+	_ = sum
+}
+
+func mixedCompare(sizeBytes int64, d time.Duration) bool {
+	return int64(d) > sizeBytes // want `Bytes value compared with NS value: mixed units`
+}
+
+func mixedAccumulate(totalNS, chunkBytes int64) {
+	totalNS += chunkBytes // want `Bytes value added to a NS destination: mixed units`
+	_ = totalNS
+}
+
+func mixedMinMax(aNS, bUS int64) {
+	m := max(aNS, bUS) // want `US value compared with NS value in min/max: mixed units`
+	_ = m
+}
+
+// Bytes/GBps is time-dimensioned; landing it in a Tokens slot is the
+// wrong-destination divide.
+func wrongDivide(bufBytes int64, rateGBps float64) {
+	tokens := float64(bufBytes) / rateGBps // want `time value assigned to Tokens destination tokens: dimension mismatch`
+	_ = tokens
+}
+
+// The historical NS-vs-Bytes bug class unitsuffix cannot catch: both names
+// carry perfect suffixes, yet a byte count becomes a duration.
+func toDuration(sizeBytes int64) time.Duration {
+	return time.Duration(sizeBytes) // want `Bytes value converted to NS: dimension mismatch`
+}
+
+func callWithBytes(sizeBytes int64) {
+	sleepNS(sizeBytes) // want `Bytes value passed to parameter latencyNS of sleepNS, declared NS: dimension mismatch`
+}
+
+func copyLatencyNS(sizeBytes int64) int64 {
+	return sizeBytes // want `Bytes value returned from copyLatencyNS, whose result is declared NS: dimension mismatch`
+}
+
+// Annotation propagation through a call: step() is MS by annotation, so a
+// bare float64 result consistently returning it should declare its unit
+// (the finding carries a -fix inserting the annotation).
+func elapsed() float64 { // want `elapsed returns MS values but declares no result unit`
+	return step()
+}
+
+func bareLiteral(nowNS int64) {
+	deadline := nowNS + 250000 // want `bare literal 250000 combined with a NS value`
+	_ = deadline
+}
+
+func openCodedScale(latNS int64) {
+	us := latNS / 1000 // want `scale conversion of a NS value with magic constant 1000`
+	_ = us
+}
+
+type copyParams struct {
+	LatencyNS  int64
+	ChunkBytes int64
+}
+
+func buildParams(sizeBytes int64) copyParams {
+	return copyParams{
+		LatencyNS:  sizeBytes, // want `Bytes value assigned to field NS destination LatencyNS: dimension mismatch`
+		ChunkBytes: sizeBytes,
+	}
+}
+
+// --- negatives: idioms the analyzer must leave alone ---
+
+const itemsPerBatch = 2048
+
+func fineIdioms(latNS int64, d time.Duration, n int, guestBytes int64) time.Duration {
+	total := time.Duration(n) * d // count-scaled duration, not time²
+	perOp := d / time.Duration(n) // mean over a count
+	_ = latNS * itemsPerBatch     // named constant factor documents itself
+	_ = pages(guestBytes)         // blessed cross-dimension conversion
+	if guestBytes > 1<<20 {       // comparison thresholds are idiomatic
+		total += time.Millisecond // named unit constants adapt
+	}
+	return total + perOp
+}

@@ -1,0 +1,8 @@
+// Package fixture holds a unit annotation naming no known unit; the
+// unitflow analyzer must report the directive itself.
+package fixture
+
+//hcclint:unit Furlongs
+var speed float64
+
+var _ = speed

@@ -46,3 +46,29 @@ type ServeConfig struct {
 type Tally struct {
 	TotalSize int
 }
+
+// linkTuning is not a calibration type by name, but BridgeParams embeds and
+// names it below, which makes its fields part of the knob surface.
+type linkTuning struct {
+	WakeDelay  int // want `reached from a calibration type.*no unit suffix`
+	WakeWorker int // dimensionless count: fine
+}
+
+// tuningAlias exercises the alias path to the same struct (the seen-set
+// keeps the shared linkTuning fields from double-reporting).
+type tuningAlias = linkTuning
+
+// BridgeParams reaches nested knobs three ways: an embedded struct, a named
+// field type, and an alias.
+type BridgeParams struct {
+	linkTuning
+	Extra    tuningAlias
+	Interior struct {
+		DrainRate float64 // want `reached from a calibration type.*no unit suffix`
+	}
+
+	// AckLatency is annotated, so the finding carries a rename fix.
+	//
+	//hcclint:unit NS
+	AckLatency int // want `no unit suffix.*-fix renames it to AckLatencyNS`
+}

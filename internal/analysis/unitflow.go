@@ -1,0 +1,1097 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// UnitFlow is the dimensional-analysis pass: where unitsuffix only enforces
+// that calibration *names* spell their unit, unitflow assigns a unit to
+// consts, fields, vars, params, and results — seeded from enforced
+// suffixes, time.Duration/sim.Time types, and //hcclint:unit annotations —
+// and propagates it through assignments, arithmetic, comparisons, composite
+// literals, and call boundaries. It reports:
+//
+//   - add/sub/compare (and min/max) of unlike units: mixing dimensions
+//     (latencyNS + sizeBytes) or scales (latencyNS + latencyUS);
+//   - assignments, call arguments, struct-literal fields, and returns whose
+//     value's dimension does not match the destination's declared unit
+//     (Bytes/GBps is time-dimensioned and must land in an NS-family slot);
+//   - open-coded scale conversions — a magic constant >= 1000 multiplied or
+//     divided into a dimensioned value — outside the blessed conversion
+//     helpers (internal/units, or any function whose result unit is
+//     declared with //hcclint:unit);
+//   - bare numeric literals >= 1000 added to or subtracted from a
+//     dimensioned value;
+//   - numeric results that consistently return a named unit but declare
+//     none (fixable: -fix inserts the missing //hcclint:unit annotation);
+//   - //hcclint:unit annotations naming no known unit.
+//
+// Everything it cannot prove keeps the unit "unknown" and is never
+// reported: the analyzer is seeded only where the repo's naming and
+// annotation conventions make the unit unambiguous.
+var UnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc:  "track units (NS, GBps, Bytes, QPS, ...) through expressions and flag mixed-unit arithmetic",
+	Run:  runUnitFlow,
+}
+
+// unitsPkgPath is the blessed conversion-helper package: scale constants
+// inside it are sanctioned.
+const unitsPkgPath = "hccsim/internal/units"
+
+// scaleConstThreshold is the smallest constant factor treated as a scale
+// conversion (1e3 is the first ns/µs/ms/KB step); smaller factors (x2, x8,
+// /100) are ordinary arithmetic.
+const scaleConstThreshold = 1000
+
+// dim is the exponent vector over the base dimensions the simulator's
+// arithmetic actually mixes up: time and data. Counted quantities (Pages,
+// Tokens, FLOPs) and declared ratios are zero-dim *named* units — they
+// still conflict with each other, and with dimensioned units, by name.
+type dim struct{ time, data int8 }
+
+func (d dim) zero() bool      { return d == dim{} }
+func (d dim) plus(o dim) dim  { return dim{d.time + o.time, d.data + o.data} }
+func (d dim) minus(o dim) dim { return dim{d.time - o.time, d.data - o.data} }
+func (d dim) String() string {
+	if d.zero() {
+		return "dimensionless"
+	}
+	var parts []string
+	part := func(name string, e int8) {
+		switch {
+		case e == 1:
+			parts = append(parts, name)
+		case e != 0:
+			parts = append(parts, name+"^"+itoa8(e))
+		}
+	}
+	part("time", d.time)
+	part("data", d.data)
+	return strings.Join(parts, "·")
+}
+
+func itoa8(v int8) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := string(rune('0' + v%10))
+	if v >= 10 {
+		s = string(rune('0'+v/10)) + s
+	}
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+type unitKind uint8
+
+const (
+	unitUnknown unitKind = iota // no information: never checked
+	unitFree                    // compile-time constant: adapts to any unit
+	unitKnown
+)
+
+// unit is what flows through expressions: a kind, a canonical atomic name
+// ("" once arithmetic derives a new scale), and a dimension.
+type unit struct {
+	kind unitKind
+	name string
+	d    dim
+}
+
+func known(name string, d dim) unit { return unit{kind: unitKnown, name: name, d: d} }
+
+var (
+	unknownUnit = unit{kind: unitUnknown}
+	freeUnit    = unit{kind: unitFree}
+)
+
+func (u unit) String() string {
+	if u.name != "" {
+		return u.name
+	}
+	return u.d.String()
+}
+
+// atomicUnits maps every canonical unit name to its dimension.
+var atomicUnits = map[string]dim{
+	// "Min"/"Minutes" are deliberately absent: a -Min suffix almost always
+	// means minimum in this codebase, not minutes.
+	"NS": {time: 1}, "US": {time: 1}, "MS": {time: 1}, "Sec": {time: 1},
+	"Hz": {time: -1}, "KHz": {time: -1}, "MHz": {time: -1}, "GHz": {time: -1},
+	"QPS":   {time: -1},
+	"Bytes": {data: 1}, "KB": {data: 1}, "MB": {data: 1}, "GB": {data: 1}, "TB": {data: 1},
+	"KiB": {data: 1}, "MiB": {data: 1}, "GiB": {data: 1},
+	"Bps": {data: 1, time: -1}, "KBps": {data: 1, time: -1}, "MBps": {data: 1, time: -1},
+	"GBps": {data: 1, time: -1}, "TBps": {data: 1, time: -1},
+	"Pages": {}, "Tokens": {}, "FLOPs": {}, "GFLOPs": {}, "TFLOPs": {},
+	"Pct": {}, "Ratio": {},
+}
+
+// unitAliases maps the accepted suffix spellings onto canonical names.
+var unitAliases = map[string]string{
+	"Secs": "Sec", "Seconds": "Sec",
+	"Percent": "Pct", "Frac": "Ratio",
+}
+
+// canonicalUnit resolves a suffix or annotation spelling to a canonical
+// unit name, or "" when it names no known unit.
+func canonicalUnit(s string) string {
+	if _, ok := atomicUnits[s]; ok {
+		return s
+	}
+	if c, ok := unitAliases[s]; ok {
+		return c
+	}
+	return ""
+}
+
+// suffixesByLength lists every accepted spelling, longest first, so GBps
+// wins over Bps.
+var suffixesByLength = func() []string {
+	var all []string
+	for s := range atomicUnits {
+		all = append(all, s)
+	}
+	for s := range unitAliases {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i]) != len(all[j]) {
+			return len(all[i]) > len(all[j])
+		}
+		return all[i] < all[j]
+	})
+	return all
+}()
+
+// wholeNameUnits seeds short lowerCamel names that *are* a unit — the
+// params and locals of conversion-adjacent code (gbps float64, ms, secs).
+var wholeNameUnits = map[string]string{
+	"ns": "NS", "us": "US", "ms": "MS", "sec": "Sec", "secs": "Sec", "seconds": "Sec",
+	"bytes": "Bytes", "nbytes": "Bytes", "kb": "KB", "mb": "MB", "gb": "GB",
+	"kib": "KiB", "mib": "MiB", "gib": "GiB",
+	"bps": "Bps", "kbps": "KBps", "mbps": "MBps", "gbps": "GBps", "tbps": "TBps",
+	"pages": "Pages", "tokens": "Tokens", "qps": "QPS",
+	"hz": "Hz", "ratio": "Ratio", "frac": "Ratio", "pct": "Pct", "flops": "FLOPs",
+}
+
+// unitFromName infers a unit from an identifier: a recognized suffix at a
+// CamelCase boundary, a whole lowercase unit name, or a Per-rate compound
+// (TokensPerSec, BytesPerPage) whose dimension is numerator minus
+// denominator — derived, since no atomic scale name fits a compound.
+func unitFromName(name string) (unit, bool) {
+	if c, ok := wholeNameUnits[name]; ok {
+		return known(c, atomicUnits[c]), true
+	}
+	for _, s := range suffixesByLength {
+		if !strings.HasSuffix(name, s) {
+			continue
+		}
+		c := canonicalUnit(s)
+		if head, ok := strings.CutSuffix(name, "Per"+s); ok && head != "" {
+			d := dim{}
+			if nu, ok := unitFromName(head); ok {
+				d = nu.d
+			}
+			return unit{kind: unitKnown, d: d.minus(atomicUnits[c])}, true
+		}
+		return known(c, atomicUnits[c]), true
+	}
+	return unknownUnit, false
+}
+
+// unitFromType seeds from types that *are* a unit: time.Duration (and its
+// aliases, e.g. sim.Duration) and sim.Time are nanoseconds.
+func unitFromType(t types.Type) (unit, bool) {
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "time" && obj.Name() == "Duration":
+				return known("NS", dim{time: 1}), true
+			case strings.HasSuffix(obj.Pkg().Path(), "internal/sim") && obj.Name() == "Time":
+				return known("NS", dim{time: 1}), true
+			}
+		}
+	}
+	return unknownUnit, false
+}
+
+// bareNumericType reports whether t is an unnamed numeric basic type — the
+// only types that can silently absorb the wrong unit.
+func bareNumericType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0 && b.Info()&types.IsComplex == 0
+}
+
+// flow is the per-function checker state.
+type flow struct {
+	p       *Pass
+	fn      *ast.FuncDecl
+	blessed bool
+	env     map[types.Object]unit
+	// declared marks env entries whose unit comes from the declaration
+	// itself (suffix, type, annotation) rather than inherited from an
+	// initializer — only declared destinations are checked on assignment.
+	declared map[types.Object]bool
+}
+
+func runUnitFlow(p *Pass) {
+	if !p.Library {
+		return
+	}
+	reportBadAnnotations(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncUnits(p, fn)
+		}
+	}
+}
+
+// reportBadAnnotations surfaces //hcclint:unit directives naming no known
+// unit, from the pass that owns the file.
+func reportBadAnnotations(p *Pass) {
+	if p.Units == nil {
+		return
+	}
+	own := make(map[string]bool, len(p.Files))
+	for _, f := range p.Files {
+		own[p.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, b := range p.Units.bad {
+		if own[b.pos.Filename] {
+			*p.out = append(*p.out, Diagnostic{Pos: b.pos, Analyzer: p.Analyzer.Name,
+				Message: "//hcclint:unit names unknown unit \"" + b.unit + "\" (units: NS, US, MS, Sec, GBps, Bytes, KB, MiB, Pages, Tokens, QPS, Ratio, ...)"})
+		}
+	}
+}
+
+func checkFuncUnits(p *Pass, fn *ast.FuncDecl) {
+	fl := &flow{
+		p:        p,
+		fn:       fn,
+		blessed:  isBlessed(p, fn),
+		env:      make(map[types.Object]unit),
+		declared: make(map[types.Object]bool),
+	}
+	fl.seedSignature()
+	fl.propagateLocals()
+	fl.checkBody()
+	fl.checkReturns()
+}
+
+// isBlessed reports whether fn is a sanctioned conversion boundary: the
+// internal/units package, or a function whose result unit is declared with
+// an explicit //hcclint:unit annotation.
+func isBlessed(p *Pass, fn *ast.FuncDecl) bool {
+	if p.Path == unitsPkgPath {
+		return true
+	}
+	obj := p.Info.Defs[fn.Name]
+	if obj == nil {
+		return false
+	}
+	_, ok := p.Units.Lookup(p.Fset, obj)
+	return ok
+}
+
+// seedObject derives the declared unit of an object: annotation, then unit
+// type, then name convention (names only seed bare-numeric-ish types — a
+// struct named latencyNS is nobody's nanosecond).
+func (fl *flow) seedObject(obj types.Object) unit {
+	if obj == nil {
+		return unknownUnit
+	}
+	if name, ok := fl.p.Units.Lookup(fl.p.Fset, obj); ok {
+		return known(name, atomicUnits[name])
+	}
+	if u, ok := unitFromType(obj.Type()); ok {
+		return u
+	}
+	if nameSeedableType(obj.Type()) {
+		if u, ok := unitFromName(obj.Name()); ok {
+			return u
+		}
+	}
+	return unknownUnit
+}
+
+// nameSeedableType: bare numerics, and slices/arrays of them (latNS []int64
+// indexes to NS).
+func nameSeedableType(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Basic:
+		return bareNumericType(t)
+	case *types.Slice:
+		return bareNumericType(types.Unalias(t.Elem()))
+	case *types.Array:
+		return bareNumericType(types.Unalias(t.Elem()))
+	}
+	return false
+}
+
+func (fl *flow) seedSignature() {
+	seed := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := fl.p.Info.Defs[name]
+				if u := fl.seedObject(obj); u.kind == unitKnown {
+					fl.env[obj] = u
+					fl.declared[obj] = true
+				}
+			}
+		}
+	}
+	seed(fl.fn.Recv)
+	seed(fl.fn.Type.Params)
+	seed(fl.fn.Type.Results)
+}
+
+// propagateLocals runs assignment propagation to a fixed point: a local
+// whose declaration carries no unit inherits the unit of what it is
+// assigned; conflicting reassignments poison it back to unknown rather
+// than guessing.
+func (fl *flow) propagateLocals() {
+	for range 4 {
+		changed := false
+		ast.Inspect(fl.fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if (n.Tok != token.DEFINE && n.Tok != token.ASSIGN) || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := fl.p.Info.Defs[id]
+					if obj == nil {
+						obj = fl.p.Info.Uses[id]
+					}
+					if obj == nil || fl.declared[obj] {
+						continue
+					}
+					if _, isLocal := obj.(*types.Var); !isLocal {
+						continue
+					}
+					// A declared unit (suffix, type, annotation) beats any
+					// inherited one: latNS stays NS even when misassigned
+					// (the assignment check reports that separately).
+					if u := fl.seedObject(obj); u.kind == unitKnown {
+						fl.env[obj] = u
+						fl.declared[obj] = true
+						changed = true
+						continue
+					}
+					u := fl.unitOf(n.Rhs[i])
+					if u.kind != unitKnown {
+						continue
+					}
+					if prev, ok := fl.env[obj]; ok {
+						if prev.kind == unitKnown && !sameUnit(prev, u) {
+							fl.env[obj] = unknownUnit // conflicting writes: stop tracking
+						}
+						continue
+					}
+					fl.env[obj] = u
+					changed = true
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					obj := fl.p.Info.Defs[name]
+					if obj == nil || fl.declared[obj] {
+						continue
+					}
+					if u := fl.seedObject(obj); u.kind == unitKnown {
+						fl.env[obj] = u
+						fl.declared[obj] = true
+						changed = true
+						continue
+					}
+					if i < len(n.Values) {
+						if u := fl.unitOf(n.Values[i]); u.kind == unitKnown {
+							if _, ok := fl.env[obj]; !ok {
+								fl.env[obj] = u
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				id, ok := ast.Unparen(n.Value).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := fl.p.Info.Defs[id]
+				if obj == nil || fl.declared[obj] {
+					return true
+				}
+				if u := fl.unitOf(n.X); u.kind == unitKnown {
+					if _, ok := fl.env[obj]; !ok {
+						fl.env[obj] = u
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		// Seed := idents by their own name suffix first time through.
+		if !changed {
+			break
+		}
+	}
+}
+
+func sameUnit(a, b unit) bool { return a.name == b.name && a.d == b.d }
+
+// unitOf evaluates the unit of an expression.
+func (fl *flow) unitOf(e ast.Expr) unit {
+	e = ast.Unparen(e)
+	if tv, ok := fl.p.Info.Types[e]; ok && tv.Value != nil {
+		// A *named* constant reference carries its declared unit (PageBytes,
+		// time.Second, nn.LlamaKVTokenBytes); anonymous constant expressions
+		// adapt to any unit.
+		var c *types.Const
+		switch e := e.(type) {
+		case *ast.Ident:
+			c, _ = fl.p.Info.Uses[e].(*types.Const)
+		case *ast.SelectorExpr:
+			c, _ = fl.p.Info.Uses[e.Sel].(*types.Const)
+		}
+		if c != nil {
+			if u := fl.seedObject(c); u.kind == unitKnown {
+				return u
+			}
+		}
+		return freeUnit
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := fl.p.Info.Uses[e]
+		if obj == nil {
+			obj = fl.p.Info.Defs[e]
+		}
+		if obj == nil {
+			return unknownUnit
+		}
+		if u, ok := fl.env[obj]; ok {
+			return u
+		}
+		return fl.seedObject(obj)
+	case *ast.SelectorExpr:
+		obj := fl.p.Info.Uses[e.Sel]
+		if v, ok := obj.(*types.Var); ok {
+			return fl.seedObject(v)
+		}
+		return unknownUnit
+	case *ast.IndexExpr:
+		return fl.elemUnit(e.X)
+	case *ast.SliceExpr:
+		return fl.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return fl.unitOf(e.X)
+		}
+		return unknownUnit
+	case *ast.BinaryExpr:
+		return fl.binaryUnit(e)
+	case *ast.CallExpr:
+		return fl.callUnit(e)
+	}
+	if tv, ok := fl.p.Info.Types[e]; ok {
+		if u, ok := unitFromType(tv.Type); ok {
+			return u
+		}
+	}
+	return unknownUnit
+}
+
+// elemUnit is the unit of one element of a collection: named slices carry
+// their element unit (latenciesNS[i] is NS); everything else is unknown.
+func (fl *flow) elemUnit(x ast.Expr) unit {
+	u := fl.unitOf(x)
+	if u.kind == unitKnown {
+		return u
+	}
+	return unknownUnit
+}
+
+func (fl *flow) binaryUnit(e *ast.BinaryExpr) unit {
+	x := fl.unitOf(e.X)
+	y := fl.unitOf(e.Y)
+	switch e.Op {
+	case token.ADD, token.SUB:
+		if x.kind == unitKnown {
+			return x
+		}
+		if y.kind == unitKnown && e.Op == token.ADD {
+			return y
+		}
+		if x.kind == unitFree && y.kind == unitFree {
+			return freeUnit
+		}
+		return unknownUnit
+	case token.MUL:
+		switch {
+		case x.kind == unitKnown && y.kind == unitKnown:
+			return unit{kind: unitKnown, d: x.d.plus(y.d)}
+		case x.kind == unitKnown && y.kind == unitFree:
+			return x
+		case y.kind == unitKnown && x.kind == unitFree:
+			return y
+		case x.kind == unitFree && y.kind == unitFree:
+			return freeUnit
+		}
+		return unknownUnit
+	case token.QUO:
+		switch {
+		case x.kind == unitKnown && y.kind == unitKnown:
+			return unit{kind: unitKnown, d: x.d.minus(y.d)}
+		case x.kind == unitKnown && y.kind == unitFree:
+			return x
+		case x.kind == unitFree && y.kind == unitKnown:
+			return unit{kind: unitKnown, d: dim{}.minus(y.d)}
+		case x.kind == unitFree && y.kind == unitFree:
+			return freeUnit
+		}
+		return unknownUnit
+	}
+	return unknownUnit
+}
+
+func (fl *flow) callUnit(call *ast.CallExpr) unit {
+	// Type conversion: float64(x), int64(x) keep the unit; time.Duration(x)
+	// and sim.Time(x) are nanoseconds by type — unless x is a count or an
+	// untracked value, because `time.Duration(n) * perItem` is the idiomatic
+	// Go way to scale a duration by a count and must not become time².
+	if tv, ok := fl.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if u, ok := unitFromType(tv.Type); ok {
+			if len(call.Args) == 1 {
+				a := fl.unitOf(call.Args[0])
+				if a.kind == unitUnknown || (a.kind == unitKnown && a.d.zero()) {
+					return unknownUnit
+				}
+			}
+			return u
+		}
+		if bareNumericType(types.Unalias(tv.Type)) && len(call.Args) == 1 {
+			return fl.unitOf(call.Args[0])
+		}
+		return unknownUnit
+	}
+	// Builtins: min/max unify like addition; the conflict check happens in
+	// checkBody.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := fl.p.Info.Uses[id]; obj != nil && obj.Pkg() == nil {
+			switch id.Name {
+			case "min", "max":
+				for _, a := range call.Args {
+					if u := fl.unitOf(a); u.kind == unitKnown {
+						return u
+					}
+				}
+				return unknownUnit
+			}
+			return unknownUnit
+		}
+	}
+	fn := calleeFunc(fl.p.Info, call)
+	if fn == nil {
+		return unknownUnit
+	}
+	return fl.resultUnitOf(fn)
+}
+
+// resultUnitOf derives the declared unit of a function's (single) result:
+// annotation, result type, stdlib Duration accessors, then the function's
+// own name.
+func (fl *flow) resultUnitOf(fn *types.Func) unit {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return unknownUnit
+	}
+	if name, ok := fl.p.Units.Lookup(fl.p.Fset, fn); ok {
+		return known(name, atomicUnits[name])
+	}
+	res := sig.Results().At(0).Type()
+	if u, ok := unitFromType(res); ok {
+		return u
+	}
+	// (time.Duration).Seconds and friends change the scale by contract.
+	if recv := sig.Recv(); recv != nil {
+		if ru, ok := unitFromType(recv.Type()); ok && ru.name == "NS" {
+			switch fn.Name() {
+			case "Seconds":
+				return known("Sec", dim{time: 1})
+			case "Milliseconds":
+				return known("MS", dim{time: 1})
+			case "Microseconds":
+				return known("US", dim{time: 1})
+			case "Nanoseconds":
+				return known("NS", dim{time: 1})
+			}
+		}
+	}
+	if bareNumericType(types.Unalias(res)) {
+		if u, ok := unitFromName(fn.Name()); ok {
+			return u
+		}
+	}
+	return unknownUnit
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// --- checks ---
+
+func (fl *flow) checkBody() {
+	ast.Inspect(fl.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			fl.checkBinary(n)
+		case *ast.AssignStmt:
+			fl.checkAssign(n)
+		case *ast.CompositeLit:
+			fl.checkCompositeLit(n)
+		case *ast.CallExpr:
+			fl.checkCall(n)
+		}
+		return true
+	})
+}
+
+var comparisonOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true, token.LSS: true,
+	token.LEQ: true, token.GTR: true, token.GEQ: true,
+}
+
+func (fl *flow) checkBinary(e *ast.BinaryExpr) {
+	x := fl.unitOf(e.X)
+	y := fl.unitOf(e.Y)
+	switch {
+	case e.Op == token.ADD || e.Op == token.SUB || comparisonOps[e.Op]:
+		verb := "added to"
+		if e.Op == token.SUB {
+			verb = "subtracted from"
+		} else if comparisonOps[e.Op] {
+			verb = "compared with"
+		}
+		if x.kind == unitKnown && y.kind == unitKnown && !addCompatible(x, y) {
+			fl.p.Reportf(e.OpPos, "%s value %s %s value: mixed units (%s vs %s)",
+				y, verb, x, exprString(e.Y), exprString(e.X))
+			return
+		}
+		// Magic thresholds in comparisons are idiomatic; the bare-literal
+		// rule only covers literals folded into the value itself.
+		if e.Op == token.ADD || e.Op == token.SUB {
+			fl.checkBareLiteral(e, x, y)
+		}
+	case e.Op == token.MUL || e.Op == token.QUO:
+		fl.checkScaleConst(e, x, y)
+	}
+}
+
+// addCompatible: identical dimension, and when both sides carry an atomic
+// name, the same name — NS+US and Bytes+MiB are scale bugs even though the
+// dimensions agree. A derived (unnamed) value of the right dimension is
+// compatible: its scale is honestly unknown.
+func addCompatible(a, b unit) bool {
+	if a.d != b.d {
+		return false
+	}
+	return a.name == "" || b.name == "" || a.name == b.name
+}
+
+// checkBareLiteral flags a unit-less literal >= threshold folded into a
+// dimensioned expression by add/sub/compare: `deadline + 5000` is an
+// ns-vs-µs trap that should be a suffixed constant.
+func (fl *flow) checkBareLiteral(e *ast.BinaryExpr, x, y unit) {
+	if fl.blessed {
+		return
+	}
+	check := func(u unit, other ast.Expr) {
+		if u.kind != unitKnown || u.d.zero() {
+			return
+		}
+		if v, lit := bigConstant(fl.p.Info, other); lit {
+			fl.p.Reportf(e.OpPos, "bare literal %s combined with a %s value; name it with a unit-suffixed constant or annotate it", v, u)
+		}
+	}
+	check(x, e.Y)
+	check(y, e.X)
+}
+
+// checkScaleConst flags multiply/divide by a magic scale constant (>= 1e3)
+// on a dimensioned value outside the blessed conversion helpers: `gbps *
+// 1e9` belongs in internal/units, where the factor is written once.
+func (fl *flow) checkScaleConst(e *ast.BinaryExpr, x, y unit) {
+	if fl.blessed {
+		return
+	}
+	check := func(u unit, self, other ast.Expr) {
+		if u.kind != unitKnown || u.d.zero() {
+			return
+		}
+		// `1536 * mib` is a quantity literal, not a rescale: when the
+		// dimensioned operand is itself a constant, the whole product is a
+		// named amount and the factor is its magnitude.
+		if tv, ok := fl.p.Info.Types[ast.Unparen(self)]; ok && tv.Value != nil {
+			return
+		}
+		if v, big := bigConstant(fl.p.Info, other); big {
+			fl.p.Reportf(e.OpPos, "scale conversion of a %s value with magic constant %s; use an internal/units helper or a //hcclint:unit-annotated conversion function", u, v)
+		}
+	}
+	check(x, e.X, e.Y)
+	if e.Op == token.MUL {
+		// Division is only a rescale when the dimensioned value is the
+		// numerator: `n / elapsed` (a constant count over a duration)
+		// honestly derives a rate and is left alone.
+		check(y, e.Y, e.X)
+	}
+}
+
+// bigConstant reports whether e is an *inline literal* compile-time numeric
+// constant with |value| >= scaleConstThreshold, returning its source-ish
+// rendering. Expressions referencing any named constant are exempt: the name
+// documents the factor (PageBytes, time.Second, iters), and the suffix rules
+// police constant names — only anonymous 1e9/1<<20-style factors are magic.
+func bigConstant(info *types.Info, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	// Typed constants (time.Second, a named unit const) carry their unit in
+	// the name/type; only untyped-ish bare numerics are magic.
+	if u, ok := unitFromType(tv.Type); ok && u.kind == unitKnown {
+		return "", false
+	}
+	named := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if _, isConst := info.Uses[id].(*types.Const); isConst {
+				named = true
+			}
+		}
+		return !named
+	})
+	if named {
+		return "", false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return "", false
+	}
+	f, _ := constant.Float64Val(v)
+	if f < 0 {
+		f = -f
+	}
+	if f < scaleConstThreshold {
+		return "", false
+	}
+	return tv.Value.ExactString(), true
+}
+
+func (fl *flow) checkAssign(n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i := range n.Lhs {
+			fl.checkFlowInto(n.Lhs[i], fl.destUnit(n.Lhs[i], n.Tok == token.DEFINE), n.Rhs[i], "assigned to")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		x := fl.unitOf(n.Lhs[0])
+		y := fl.unitOf(n.Rhs[0])
+		if x.kind == unitKnown && y.kind == unitKnown && !addCompatible(x, y) {
+			fl.p.Reportf(n.TokPos, "%s value %s a %s destination: mixed units",
+				y, map[token.Token]string{token.ADD_ASSIGN: "added to", token.SUB_ASSIGN: "subtracted from"}[n.Tok], x)
+		}
+	case token.MUL_ASSIGN, token.QUO_ASSIGN:
+		x := fl.unitOf(n.Lhs[0])
+		y := fl.unitOf(n.Rhs[0])
+		if x.kind == unitKnown && y.kind == unitKnown && !y.d.zero() {
+			fl.p.Reportf(n.TokPos, "%s destination %s by a %s value: the result changes dimension", x,
+				map[token.Token]string{token.MUL_ASSIGN: "multiplied", token.QUO_ASSIGN: "divided"}[n.Tok], y)
+		}
+	}
+}
+
+// destUnit is the *declared* unit of an assignment destination — only
+// destinations whose unit comes from their own declaration (name, type,
+// annotation) are checked; inherited locals just re-propagate.
+func (fl *flow) destUnit(lhs ast.Expr, define bool) unit {
+	lhs = ast.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := fl.p.Info.Defs[lhs]
+		if obj == nil {
+			obj = fl.p.Info.Uses[lhs]
+		}
+		if obj == nil {
+			return unknownUnit
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return unknownUnit
+		}
+		return fl.seedObject(obj)
+	case *ast.SelectorExpr:
+		if v, ok := fl.p.Info.Uses[lhs.Sel].(*types.Var); ok {
+			return fl.seedObject(v)
+		}
+	case *ast.IndexExpr:
+		return fl.elemUnit(lhs.X)
+	}
+	return unknownUnit
+}
+
+// checkFlowInto reports a value of known unit flowing into a destination
+// declared with an incompatible dimension.
+func (fl *flow) checkFlowInto(at ast.Expr, dest unit, val ast.Expr, how string) {
+	if dest.kind != unitKnown {
+		return
+	}
+	v := fl.unitOf(val)
+	if v.kind != unitKnown {
+		return
+	}
+	if v.d != dest.d {
+		fl.p.Reportf(val.Pos(), "%s value %s %s destination %s: dimension mismatch (%s vs %s)",
+			v, how, dest, exprString(at), v.d, dest.d)
+	}
+}
+
+func (fl *flow) checkCompositeLit(n *ast.CompositeLit) {
+	tv, ok := fl.p.Info.Types[n]
+	if !ok {
+		return
+	}
+	if _, ok := types.Unalias(tv.Type).Underlying().(*types.Struct); !ok {
+		return // map literals can have variable keys; only struct fields carry units
+	}
+	for _, el := range n.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fieldObj, ok := fl.p.Info.Uses[key].(*types.Var)
+		if !ok {
+			continue
+		}
+		fl.checkFlowInto(kv.Key, fl.seedObject(fieldObj), kv.Value, "assigned to field")
+	}
+}
+
+// checkCall verifies argument units against the callee's declared param
+// units — the cross-package propagation: an annotated or suffixed param in
+// pcie keeps its unit when cuda calls it.
+func (fl *flow) checkCall(call *ast.CallExpr) {
+	if tv, ok := fl.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion to a unit-typed destination: time.Duration(sizeBytes)
+		// is the historical NS-vs-Bytes bug class. Zero-dim counts are
+		// exempt (the Duration(n)*perItem idiom), and blessed converters
+		// cross dimensions by design.
+		if u, ok := unitFromType(tv.Type); ok && len(call.Args) == 1 && !fl.blessed {
+			v := fl.unitOf(call.Args[0])
+			if v.kind == unitKnown && !v.d.zero() && v.d != u.d {
+				fl.p.Reportf(call.Args[0].Pos(), "%s value converted to %s: dimension mismatch (%s vs %s)",
+					v, u, v.d, u.d)
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := fl.p.Info.Uses[id]; obj != nil && obj.Pkg() == nil {
+			if id.Name == "min" || id.Name == "max" {
+				fl.checkMinMax(call)
+			}
+			return
+		}
+	}
+	fn := calleeFunc(fl.p.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break // variadic tail: the declared element unit rarely applies
+		}
+		param := params.At(i)
+		if sig.Variadic() && i == params.Len()-1 {
+			break
+		}
+		pu := fl.seedObject(param)
+		if pu.kind != unitKnown {
+			continue
+		}
+		v := fl.unitOf(arg)
+		if v.kind == unitKnown && v.d != pu.d {
+			fl.p.Reportf(arg.Pos(), "%s value passed to parameter %s of %s, declared %s: dimension mismatch",
+				v, param.Name(), fn.Name(), pu)
+		}
+	}
+}
+
+func (fl *flow) checkMinMax(call *ast.CallExpr) {
+	var first unit
+	var firstExpr ast.Expr
+	for _, a := range call.Args {
+		u := fl.unitOf(a)
+		if u.kind != unitKnown {
+			continue
+		}
+		if first.kind != unitKnown {
+			first, firstExpr = u, a
+			continue
+		}
+		if !addCompatible(first, u) {
+			fl.p.Reportf(a.Pos(), "%s value compared with %s value in min/max: mixed units (%s vs %s)",
+				u, first, exprString(a), exprString(firstExpr))
+		}
+	}
+}
+
+// checkReturns verifies return expressions against the declared result
+// unit, and — when a bare-numeric result consistently returns one named
+// unit but declares none — reports it with a fix inserting the missing
+// //hcclint:unit annotation.
+func (fl *flow) checkReturns() {
+	results := fl.fn.Type.Results
+	if results == nil || len(results.List) != 1 || len(results.List[0].Names) > 1 {
+		return
+	}
+	resField := results.List[0]
+	var declared unit
+	if len(resField.Names) == 1 {
+		obj := fl.p.Info.Defs[resField.Names[0]]
+		declared = fl.seedObject(obj)
+	} else {
+		declared = fl.resultDeclaredUnit(resField)
+	}
+	var returned []unit
+	complete := true
+	ast.Inspect(fl.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, separate results
+		case *ast.ReturnStmt:
+			if len(n.Results) != 1 {
+				complete = false
+				return true
+			}
+			u := fl.unitOf(n.Results[0])
+			// Blessed converters (pages(bytes), annotated helpers) cross
+			// dimensions on return by design.
+			if declared.kind == unitKnown && u.kind == unitKnown && u.d != declared.d && !fl.blessed {
+				fl.p.Reportf(n.Results[0].Pos(), "%s value returned from %s, whose result is declared %s: dimension mismatch",
+					u, fl.fn.Name.Name, declared)
+			}
+			returned = append(returned, u)
+		}
+		return true
+	})
+	if declared.kind == unitKnown || fl.blessed || !complete || len(returned) == 0 {
+		return
+	}
+	// Result type must be a bare numeric to be worth annotating.
+	tv, ok := fl.p.Info.Types[resField.Type]
+	if !ok || !bareNumericType(types.Unalias(tv.Type)) {
+		return
+	}
+	name := ""
+	for _, u := range returned {
+		if u.kind != unitKnown || u.name == "" {
+			return
+		}
+		if name == "" {
+			name = u.name
+		} else if name != u.name {
+			return
+		}
+	}
+	fix := SuggestedFix{
+		Message: "declare the result unit with //hcclint:unit " + name,
+		Edits:   []TextEdit{fl.p.InsertLineAbove(fl.fn.Pos(), "//hcclint:unit "+name)},
+	}
+	fl.p.ReportFix(fl.fn.Pos(), fix, "%s returns %s values but declares no result unit; annotate it with //hcclint:unit %s (or suffix the name)",
+		fl.fn.Name.Name, name, name)
+}
+
+// resultDeclaredUnit seeds an unnamed result field from its type and the
+// function's own name/annotation.
+func (fl *flow) resultDeclaredUnit(resField *ast.Field) unit {
+	if obj := fl.p.Info.Defs[fl.fn.Name]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok {
+			return fl.resultUnitOf(fn)
+		}
+	}
+	if tv, ok := fl.p.Info.Types[resField.Type]; ok {
+		if u, ok := unitFromType(tv.Type); ok {
+			return u
+		}
+	}
+	return unknownUnit
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.BinaryExpr:
+		return exprString(e.X) + " " + e.Op.String() + " " + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnitFlowBadAnnotation checks that a //hcclint:unit directive naming no
+// known unit is itself reported (it cannot live in the want-fixture because
+// the directive occupies the whole diagnostic line).
+func TestUnitFlowBadAnnotation(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "unitflowbad"))
+	diags := Run([]*Package{pkg}, []*Analyzer{UnitFlow})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, `unknown unit "Furlongs"`) {
+		t.Errorf("diagnostic %q does not name the unknown unit", diags[0].Message)
+	}
+}
+
+// TestUnitFlowMissingAnnotationFix checks the flagship -fix path end to end
+// at the engine level: the missing-annotation finding carries an edit that
+// inserts //hcclint:unit above the function, and applying it yields source
+// that re-analyzes clean.
+func TestUnitFlowMissingAnnotationFix(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "unitflow"))
+	diags := Run([]*Package{pkg}, []*Analyzer{UnitFlow})
+	var fixable *Diagnostic
+	for i, d := range diags {
+		if strings.Contains(d.Message, "declares no result unit") {
+			fixable = &diags[i]
+			break
+		}
+	}
+	if fixable == nil {
+		t.Fatal("no missing-annotation diagnostic in the unitflow fixture")
+	}
+	if len(fixable.Fixes) != 1 {
+		t.Fatalf("missing-annotation diagnostic carries %d fixes, want 1", len(fixable.Fixes))
+	}
+	files, applied, err := ApplyFixes([]*Package{pkg}, []Diagnostic{*fixable})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d fixes, want 1", applied)
+	}
+	for name, content := range files {
+		if !strings.Contains(string(content), "//hcclint:unit MS\nfunc elapsed() float64 {") {
+			t.Errorf("%s after fix lacks the inserted annotation:\n%s", name, content)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -13,9 +14,13 @@ import (
 // LaunchLatency), because a bare int carries no defense against an
 // ns-vs-µs or MB-vs-MiB mix-up. Scope: exported fields of struct types
 // whose name contains Params/Config/Calib (the calibration surface swept
-// by cmd/hccsweep and hashed into cache keys) plus package-level numeric
-// constants. Fields of named types such as time.Duration or sim.Time are
-// exempt — the type itself is the unit.
+// by cmd/hccsweep and hashed into cache keys) — including fields reached
+// through embedded structs and named or aliased struct types, which are the
+// same knob surface wearing a different declaration — plus package-level
+// numeric constants. Fields of named types such as time.Duration or
+// sim.Time are exempt — the type itself is the unit. A flagged name that
+// carries a //hcclint:unit annotation gets a SuggestedFix renaming it to
+// name+unit (applied by cmd/hcclint -fix).
 var UnitSuffix = &Analyzer{
 	Name: "unitsuffix",
 	Doc:  "require unit suffixes (NS, GBps, Bytes, Pages, ...) on latency/bandwidth/size knobs",
@@ -89,18 +94,70 @@ func isCalibrationTypeName(name string) bool {
 func checkCalibrationStruct(p *Pass, typeName string, st *ast.StructType) {
 	for _, field := range st.Fields.List {
 		tv, ok := p.Info.Types[field.Type]
-		if !ok || !isBareNumeric(tv.Type) {
+		if !ok {
 			continue
 		}
-		for _, name := range field.Names {
-			if !name.IsExported() {
+		if isBareNumeric(tv.Type) {
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if word := missingUnit(name.Name); word != "" {
+					reportMissingSuffix(p, p.Info.Defs[name], name.Pos(),
+						fmt.Sprintf("%s.%s looks like a %s but its name carries no unit suffix (%s); a bare %s invites unit mix-ups",
+							typeName, name.Name, strings.ToLower(word), suffixHint, tv.Type))
+				}
+			}
+			continue
+		}
+		// Embedded structs and named/aliased struct types are the same knob
+		// surface wearing a different declaration: descend.
+		descendCalibrationType(p, tv.Type, make(map[*types.Struct]bool))
+	}
+}
+
+// descendCalibrationType walks a field type reached from a calibration
+// struct and applies the suffix rule to nested bare-numeric struct fields.
+// Unit-carrying named types stop the walk (the type is the unit), and named
+// types that are themselves calibration types are skipped — they get the
+// direct check in their own package. Findings anchor on the nested field's
+// own declaration (the shared FileSet makes that position valid even when
+// the type lives in another package; the engine dedupes repeats).
+func descendCalibrationType(p *Pass, t types.Type, seen map[*types.Struct]bool) {
+	t = types.Unalias(t)
+	label := ""
+	if named, ok := t.(*types.Named); ok {
+		if _, isUnit := unitFromType(named); isUnit {
+			return
+		}
+		if isCalibrationTypeName(named.Obj().Name()) {
+			return
+		}
+		label = named.Obj().Name()
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok || seen[st] {
+		return
+	}
+	seen[st] = true
+	if label == "" {
+		label = "embedded struct"
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isBareNumeric(f.Type()) {
+			if !f.Exported() {
 				continue
 			}
-			if word := missingUnit(name.Name); word != "" {
-				p.Reportf(name.Pos(), "%s.%s looks like a %s but its name carries no unit suffix (%s); a bare %s invites unit mix-ups",
-					typeName, name.Name, strings.ToLower(word), suffixHint, tv.Type)
+			if word := missingUnit(f.Name()); word != "" {
+				reportMissingSuffix(p, f, f.Pos(),
+					fmt.Sprintf("%s.%s (reached from a calibration type) looks like a %s but its name carries no unit suffix (%s)",
+						label, f.Name(), strings.ToLower(word), suffixHint))
 			}
+			continue
 		}
+		descendCalibrationType(p, f.Type(), seen)
 	}
 }
 
@@ -110,9 +167,27 @@ func checkConst(p *Pass, name *ast.Ident) {
 		return
 	}
 	if word := missingUnit(name.Name); word != "" {
-		p.Reportf(name.Pos(), "constant %s looks like a %s but its name carries no unit suffix (%s)",
-			name.Name, strings.ToLower(word), suffixHint)
+		reportMissingSuffix(p, obj, name.Pos(),
+			fmt.Sprintf("constant %s looks like a %s but its name carries no unit suffix (%s)",
+				name.Name, strings.ToLower(word), suffixHint))
 	}
+}
+
+// reportMissingSuffix emits the finding; when a //hcclint:unit annotation
+// already declares the unit, the finding carries a semantic rename to
+// name+unit that cmd/hcclint -fix applies across every loaded package.
+func reportMissingSuffix(p *Pass, obj types.Object, pos token.Pos, message string) {
+	if obj != nil {
+		if u, ok := p.Units.Lookup(p.Fset, obj); ok {
+			to := obj.Name() + u
+			p.ReportFix(pos, SuggestedFix{
+				Message: "rename to " + to,
+				Rename:  &Rename{Obj: obj, To: to},
+			}, "%s; -fix renames it to %s (from its //hcclint:unit annotation)", message, to)
+			return
+		}
+	}
+	p.Reportf(pos, "%s", message)
 }
 
 const suffixHint = "NS, US, MS, GBps, MBps, Bytes, KB, MB, GB, Pages, ..."

@@ -8,6 +8,7 @@ import (
 	"hccsim/internal/ccmode"
 	"hccsim/internal/core"
 	"hccsim/internal/tab"
+	"hccsim/internal/units"
 )
 
 // SweepTable merges per-job results into one table: a row per job in
@@ -154,4 +155,6 @@ func pairKey(j Job) string {
 }
 
 // msCell renders a duration in milliseconds.
-func msCell(d time.Duration) float64 { return d.Seconds() * 1e3 }
+//
+//hcclint:unit MS
+func msCell(d time.Duration) float64 { return units.ToMS(d) }

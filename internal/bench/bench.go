@@ -21,6 +21,7 @@ import (
 	"hccsim/internal/figures"
 	"hccsim/internal/serve"
 	"hccsim/internal/sim"
+	"hccsim/internal/units"
 )
 
 // SchemaVersion is bumped when the metric set changes incompatibly.
@@ -245,7 +246,7 @@ func figureCampaign(parallel int) ([]Metric, map[string]uint64, error) {
 	metrics := []Metric{
 		{
 			Name:   "figure_set_wall",
-			Value:  wall.Seconds() * 1e3,
+			Value:  units.ToMS(wall),
 			Unit:   "ms",
 			Better: LowerIsBetter,
 		},

@@ -6,6 +6,7 @@ import (
 
 	"hccsim/internal/sim"
 	"hccsim/internal/trace"
+	"hccsim/internal/units"
 )
 
 // Event is a CUDA event: a timestamped marker recorded into a stream, the
@@ -81,8 +82,7 @@ func (c *Context) Memset(b *Buffer, bytes int64) {
 	rt := c.rt
 	c.p.Sleep(rt.params.CopySW / 2)
 	rt.pl.MMIO(c.p)
-	secs := float64(bytes) / (rt.dev.Mem().Params().BandwidthGBps * 1e9)
-	c.p.Sleep(time.Duration(secs * float64(time.Second)))
+	c.p.Sleep(units.StreamDuration(bytes, rt.dev.Mem().Params().BandwidthGBps))
 	c.record(trace.KindMemcpyD2D, "cudaMemset", start, bytes, false)
 }
 

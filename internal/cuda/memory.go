@@ -62,6 +62,10 @@ func (b *Buffer) checkLive(op string) {
 	}
 }
 
+// mib returns the byte count as a dimensionless number of MiB — a
+// multiplier for the runtime's per-MiB cost knobs, not a data quantity.
+//
+//hcclint:unit Ratio
 func mib(bytes int64) float64 { return float64(bytes) / (1 << 20) }
 
 func perMB(d time.Duration, bytes int64) time.Duration {

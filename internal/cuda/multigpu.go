@@ -9,6 +9,7 @@ import (
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/trace"
+	"hccsim/internal/units"
 	"hccsim/internal/uvm"
 )
 
@@ -138,8 +139,7 @@ func (c *Context) MemcpyPeer(dst, src *Buffer, bytes int64) {
 	rt.pl.MMIO(c.p)
 
 	if rt.nvlink.Enabled {
-		secs := float64(bytes) / (rt.nvlink.GBps * 1e9)
-		c.p.Sleep(rt.nvlink.PerOp + time.Duration(secs*float64(time.Second)))
+		c.p.Sleep(rt.nvlink.PerOp + units.StreamDuration(bytes, rt.nvlink.GBps))
 		c.record(trace.KindMemcpyD2D, "cudaMemcpyPeer[nvlink]", start, bytes, false)
 		return
 	}

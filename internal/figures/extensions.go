@@ -10,6 +10,7 @@ import (
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
+	"hccsim/internal/units"
 	"hccsim/internal/workloads"
 )
 
@@ -58,7 +59,7 @@ func ExtTEEIO() Table {
 			dur = time.Duration(p.Now() - start)
 		})
 		eng.Run()
-		return float64(1<<30) / dur.Seconds() / 1e9
+		return units.RateGBps(1<<30, dur)
 	}
 	t.AddRow("pinned H2D GB/s",
 		bw(cuda.DefaultConfig(false)), bw(cuda.DefaultConfig(true)), bw(snpConfig()), bw(teeioConfig()))
@@ -121,7 +122,7 @@ func ExtCryptoWorkers() Table {
 			dur = time.Duration(p.Now() - start)
 		})
 		eng.Run()
-		gbps := float64(1<<30) / dur.Seconds() / 1e9
+		gbps := units.RateGBps(1<<30, dur)
 
 		spec := mustWorkload("3dconv")
 		res := workloads.Execute(spec, workloads.CopyExecute, cfg)
@@ -306,7 +307,7 @@ func ExtMultiGPU() Table {
 		base := run(false, path.nvlink)
 		cc := run(true, path.nvlink)
 		t.AddRow(path.name, ms(base), ms(cc), float64(cc)/float64(base),
-			float64(n)/base.Seconds()/1e9, float64(n)/cc.Seconds()/1e9)
+			units.RateGBps(n, base), units.RateGBps(n, cc))
 	}
 	t.Notes = append(t.Notes,
 		"CC host-staged peer copies pay the software cipher twice (decrypt D2H, re-encrypt H2D)",

@@ -7,6 +7,7 @@ import (
 	"hccsim/internal/core"
 	"hccsim/internal/cuda"
 	"hccsim/internal/sim"
+	"hccsim/internal/units"
 	"hccsim/internal/workloads"
 )
 
@@ -107,6 +108,8 @@ func modeConfig(name string) cuda.Config {
 }
 
 // modeBW measures 1 GiB pinned H2D bandwidth (GB/s) under cfg.
+//
+//hcclint:unit GBps
 func modeBW(cfg cuda.Config) float64 {
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, cfg)
@@ -120,7 +123,7 @@ func modeBW(cfg cuda.Config) float64 {
 		dur = time.Duration(p.Now() - start)
 	})
 	eng.Run()
-	return float64(1<<30) / dur.Seconds() / 1e9
+	return units.RateGBps(1<<30, dur)
 }
 
 // modeBidir issues a 512 MiB H2D and a 512 MiB D2H concurrently on two

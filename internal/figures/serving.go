@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"hccsim/internal/serve"
+	"hccsim/internal/units"
 )
 
 // ExtServing compares request-level serving behaviour across protection
@@ -61,7 +62,7 @@ func ExtServing() Table {
 			return fmt.Sprintf("%d", rep.Preemptions)
 		})
 		addRow("kv swap traffic @ %.1f qps (GiB)", r, func(rep serve.Report) interface{} {
-			return float64(rep.SwapOutBytes+rep.SwapInBytes) / (1 << 30)
+			return units.ToGiB(rep.SwapOutBytes + rep.SwapInBytes)
 		})
 	}
 	addRow("decode throughput @ %.1f qps (tok/s)", rates[len(rates)-1],

@@ -8,6 +8,7 @@ import (
 	"hccsim/internal/sim"
 	"hccsim/internal/swcrypto"
 	"hccsim/internal/trace"
+	"hccsim/internal/units"
 	"hccsim/internal/workloads"
 )
 
@@ -205,7 +206,10 @@ func managedAllocTimes() (allocRatio, freeRatio float64) {
 	return ratioOf(aC, aB), ratioOf(fC, fB)
 }
 
-func ms(d time.Duration) float64 { return d.Seconds() * 1e3 }
+// ms renders a duration in milliseconds for a table cell.
+//
+//hcclint:unit MS
+func ms(d time.Duration) float64 { return units.ToMS(d) }
 
 func ratioOf(a, b time.Duration) float64 {
 	if b == 0 {

@@ -15,6 +15,7 @@ import (
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
 	"hccsim/internal/trace"
+	"hccsim/internal/units"
 	"hccsim/internal/uvm"
 )
 
@@ -179,12 +180,12 @@ func (d *Device) KernelTime(spec KernelSpec) time.Duration {
 		}
 	}
 	flopTime := spec.FLOPs / (d.params.PeakFP32TFLOPs * 1e12 * occ)
-	memTime := float64(spec.MemBytes) / (d.mem.Params().BandwidthGBps * 1e9)
+	memTime := units.StreamSec(spec.MemBytes, d.mem.Params().BandwidthGBps)
 	t := flopTime
 	if memTime > t {
 		t = memTime
 	}
-	return d.params.KernelFixedOverhead + time.Duration(t*float64(time.Second))
+	return d.params.KernelFixedOverhead + units.FromSec(t)
 }
 
 // dispatchCost is the command processor's per-command time: base handling
@@ -353,8 +354,7 @@ func (d *Device) TransferDD(p *sim.Proc, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	secs := float64(bytes) / (d.params.BlitGBps * 1e9)
-	p.Sleep(2*time.Microsecond + time.Duration(secs*float64(time.Second)))
+	p.Sleep(2*time.Microsecond + units.StreamDuration(bytes, d.params.BlitGBps))
 }
 
 type waitCmd struct {

@@ -65,6 +65,8 @@ func (a *Allocator) Used() int64 { return a.used }
 func (a *Allocator) Peak() int64 { return a.peak }
 
 // Free returns bytes currently free.
+//
+//hcclint:unit Bytes
 func (a *Allocator) Free() int64 { return a.params.CapacityBytes - a.used }
 
 // FragmentCount returns the number of free-list extents (1 when unfragmented).

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hccsim/internal/sim"
+	"hccsim/internal/units"
 )
 
 // Direction of a transfer relative to the host.
@@ -82,8 +83,7 @@ func (l *Link) TransferTime(n int64) time.Duration {
 	if n < 0 {
 		n = 0
 	}
-	stream := float64(n) / (l.params.EffectiveGBps * 1e9)
-	return l.params.TransactionLatency + time.Duration(stream*float64(time.Second))
+	return l.params.TransactionLatency + units.StreamDuration(n, l.params.EffectiveGBps)
 }
 
 // Transfer moves n bytes in direction d, charging queueing plus transfer
@@ -113,8 +113,7 @@ func (l *Link) BridgeTransfer(p *sim.Proc, d Direction, n int64, gbps float64, p
 	if n < 0 {
 		n = 0
 	}
-	stream := float64(n) / (gbps * 1e9)
-	t := l.params.TransactionLatency + perTLP + time.Duration(stream*float64(time.Second))
+	t := l.params.TransactionLatency + perTLP + units.StreamDuration(n, gbps)
 	l.bridge.Acquire(p)
 	p.Sleep(t)
 	l.bridge.Release()

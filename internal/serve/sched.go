@@ -59,8 +59,8 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 			maxSeqTokens = t
 		}
 	}
-	idsBytes := int64(cfg.MaxPrefillTokens+maxPrompt) * 4
-	if b := int64(cfg.MaxBatch) * 4; b > idsBytes {
+	idsBytes := int64(cfg.MaxPrefillTokens+maxPrompt) * tokenIDBytes
+	if b := int64(cfg.MaxBatch) * tokenIDBytes; b > idsBytes {
 		idsBytes = b
 	}
 	swapBytes := int64(maxSeqTokens) * tokenBytes
@@ -170,10 +170,10 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 			case len(admitted) > 0:
 				// Prefill iteration over the admitted prompts.
 				rep.PrefillIters++
-				c.Memcpy(dIO, hIO, int64(prefillTokens)*4) // prompt ids H2D
+				c.Memcpy(dIO, hIO, int64(prefillTokens)*tokenIDBytes) // prompt ids H2D
 				p.Sleep(hostCost)
 				p.Sleep(model.prefill(prefillTokens))
-				c.Memcpy(hIO, dIO, int64(len(admitted))*4) // first tokens D2H
+				c.Memcpy(hIO, dIO, int64(len(admitted))*tokenIDBytes) // first tokens D2H
 				now := simTime(p.Now())
 				for _, a := range admitted {
 					a.firstTokenAt = now
@@ -216,10 +216,10 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 					}
 				}
 				batch := len(running)
-				c.Memcpy(dIO, hIO, int64(batch)*4) // fed-back token ids H2D
+				c.Memcpy(dIO, hIO, int64(batch)*tokenIDBytes) // fed-back token ids H2D
 				p.Sleep(hostCost)
 				p.Sleep(model.decode(batch))
-				c.Memcpy(hIO, dIO, int64(batch)*4) // sampled ids D2H
+				c.Memcpy(hIO, dIO, int64(batch)*tokenIDBytes) // sampled ids D2H
 				batchSum += int64(batch)
 				tokensOut += int64(batch)
 				now := simTime(p.Now())

@@ -120,6 +120,12 @@ const (
 	defaultSLOTPOT          = 40 * time.Millisecond
 	defaultSLOTarget        = 0.95
 	workspaceReserveBytes   = int64(6) << 30
+	// kvClampHeadroomBytes is kept free of the KV pool when clamping an
+	// oversized KVCapBytes override, so staging buffers still allocate.
+	kvClampHeadroomBytes = int64(1) << 30
+	// tokenIDBytes is the wire size of one int32 token id in the prompt
+	// and sampled-token H2D/D2H copies.
+	tokenIDBytes = 4
 )
 
 // withDefaults returns cfg with zero fields resolved, plus the parsed
@@ -189,7 +195,7 @@ func (cfg Config) withDefaults() (Config, nn.Backend, nn.Quant, cuda.Config, err
 	// The pool, weights, and staging buffers are real device allocations in
 	// the scheduler's context; clamp an oversized override so the run does
 	// not die on a simulated cudaMalloc OOM.
-	if max := sys.HBM.CapacityBytes - nn.WeightBytes(quant) - (1 << 30); cfg.KVCapBytes > max {
+	if max := sys.HBM.CapacityBytes - nn.WeightBytes(quant) - kvClampHeadroomBytes; cfg.KVCapBytes > max {
 		cfg.KVCapBytes = max
 	}
 	blockBytes := int64(cfg.KVBlockTokens) * nn.LlamaKVTokenBytes

@@ -6,6 +6,8 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"time"
+
+	"hccsim/internal/units"
 )
 
 // Algorithm identifies one of the cryptographic primitives evaluated by the
@@ -203,8 +205,7 @@ func (s *SoftCrypto) Time(n int64) time.Duration {
 	if n <= 0 {
 		return s.PerCall
 	}
-	stream := float64(n) / (s.ThroughputGBps * 1e9) // seconds
-	return s.PerCall + time.Duration(stream*float64(time.Second))
+	return s.PerCall + units.StreamDuration(n, s.ThroughputGBps)
 }
 
 // EffectiveGBps returns the achieved rate for n-byte calls, including the

@@ -27,6 +27,7 @@ import (
 	"hccsim/internal/ccmode"
 	"hccsim/internal/sim"
 	"hccsim/internal/swcrypto"
+	"hccsim/internal/units"
 )
 
 // PageBytes is the guest page granule for shared/private conversions.
@@ -295,8 +296,7 @@ func (pl *Platform) HostMemcpy(p *sim.Proc, n int64) {
 		return
 	}
 	pl.stats.BytesStaged += n
-	secs := float64(n) / (pl.params.HostMemcpyGBps * 1e9)
-	p.Sleep(time.Duration(secs * float64(time.Second)))
+	p.Sleep(units.StreamDuration(n, pl.params.HostMemcpyGBps))
 }
 
 // BounceAcquire reserves n bytes of SWIOTLB bounce space, blocking while the

@@ -1,0 +1,76 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamDurationMatchesOpenCodedIdiom pins the helper to the exact
+// floating-point evaluation order of the expression it replaced across
+// pcie/tdx/cuda/gpu/swcrypto — bit-equality, not approximate equality,
+// because the golden figures are byte-identity gated.
+func TestStreamDurationMatchesOpenCodedIdiom(t *testing.T) {
+	cases := []struct {
+		n    int64
+		gbps float64
+	}{
+		{0, 52.0}, {1, 52.0}, {4096, 52.0}, {1 << 20, 52.0},
+		{256 << 20, 26.8}, {80 << 30, 3352.0}, {12345, 0.5}, {1<<40 + 7, 900.0},
+	}
+	for _, c := range cases {
+		stream := float64(c.n) / (c.gbps * 1e9)
+		want := time.Duration(stream * float64(time.Second))
+		if got := StreamDuration(c.n, c.gbps); got != want {
+			t.Errorf("StreamDuration(%d, %g) = %d, want %d", c.n, c.gbps, got, want)
+		}
+	}
+	if got := StreamDuration(1<<20, 0); got != 0 {
+		t.Errorf("StreamDuration with zero rate = %d, want 0", got)
+	}
+}
+
+func TestDurationScales(t *testing.T) {
+	d := 1234567 * time.Nanosecond
+	if got, want := FromSec(d.Seconds()), time.Duration(d.Seconds()*float64(time.Second)); got != want {
+		t.Errorf("FromSec round trip = %d, want %d", got, want)
+	}
+	if got, want := FromMS(2.5), time.Duration(2.5*1e6); got != want {
+		t.Errorf("FromMS(2.5) = %d, want %d", got, want)
+	}
+	if got, want := ToMS(d), d.Seconds()*1e3; got != want {
+		t.Errorf("ToMS = %g, want %g", got, want)
+	}
+	if got, want := ToUS(d), float64(d)/float64(time.Microsecond); got != want {
+		t.Errorf("ToUS = %g, want %g", got, want)
+	}
+	if got, want := ToSec(d), d.Seconds(); got != want {
+		t.Errorf("ToSec = %g, want %g", got, want)
+	}
+}
+
+func TestRateGBps(t *testing.T) {
+	n := int64(1 << 30)
+	d := 20 * time.Millisecond
+	want := float64(n) / d.Seconds() / 1e9
+	if got := RateGBps(n, d); got != want {
+		t.Errorf("RateGBps = %g, want %g", got, want)
+	}
+	if got := RateGBps(n, 0); got != 0 {
+		t.Errorf("RateGBps with zero duration = %g, want 0", got)
+	}
+	if got := RateGBpsSec(12.0, 0); got != 0 {
+		t.Errorf("RateGBpsSec with zero elapsed = %g, want 0", got)
+	}
+}
+
+// TestRoundTrip checks the conversions compose: streaming n bytes at rate r
+// and measuring the achieved rate lands back on r (within float noise).
+func TestRoundTrip(t *testing.T) {
+	n := int64(256 << 20)
+	rate := 52.0
+	d := StreamDuration(n, rate)
+	got := RateGBps(n, d)
+	if got < rate*0.999 || got > rate*1.001 {
+		t.Errorf("round-tripped rate = %g, want ~%g", got, rate)
+	}
+}
