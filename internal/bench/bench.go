@@ -73,7 +73,7 @@ func Collect(parallel int, date string) (Baseline, error) {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), queuePutGet(), modeDispatch())
+	b.Metrics = append(b.Metrics, engineScheduleFire(), procContextSwitch(), actorStep(), queuePutGet(), modeDispatch())
 	steady, err := serveSteadyState()
 	if err != nil {
 		return Baseline{}, err
@@ -136,6 +136,50 @@ func procContextSwitch() Metric {
 		Name:   "proc_context_switch",
 		Value:  n / elapsed,
 		Unit:   "switches/sec",
+		Better: HigherIsBetter,
+	}
+}
+
+// stepBench is the actorStep state machine: warm-up sleeps (negative i),
+// then n timed steps through the inline resume path.
+type stepBench struct {
+	a       *sim.Actor
+	i, n    int
+	start   time.Time
+	elapsed *float64
+}
+
+func stepBenchStep(x any) {
+	f := x.(*stepBench)
+	if f.i == 0 {
+		f.start = time.Now()
+	}
+	if f.i == f.n {
+		*f.elapsed = time.Since(f.start).Seconds()
+		f.a.Done()
+		return
+	}
+	f.i++
+	f.a.Sleep(time.Nanosecond, stepBenchStep, f)
+}
+
+// actorStep measures the run-to-completion resume path: an actor rescheduled
+// through repeated 1 ns sleeps, each resume an inline continuation step with
+// no channel operation and no goroutine switch (the counterpart of
+// proc_context_switch for the actor runtime).
+func actorStep() Metric {
+	const n = 2000000
+	e := sim.NewEngine()
+	var elapsed float64
+	e.SpawnActor("stepper", func(a *sim.Actor) {
+		f := &stepBench{a: a, i: -1000, n: n, elapsed: &elapsed}
+		stepBenchStep(f)
+	})
+	e.Run()
+	return Metric{
+		Name:   "actor_step",
+		Value:  n / elapsed,
+		Unit:   "steps/sec",
 		Better: HigherIsBetter,
 	}
 }
@@ -258,11 +302,11 @@ func figureCampaign(parallel int) ([]Metric, map[string]uint64, error) {
 		},
 	}
 	counters := map[string]uint64{
-		"events_fired":    gs.Fired,
-		"events_sched":    gs.Scheduled,
-		"handoffs":        gs.Handoffs,
-		"resumes_batched": gs.ResumesBatched,
-		"allocs_avoided":  gs.AllocsAvoided,
+		"events_fired":   gs.Fired,
+		"events_sched":   gs.Scheduled,
+		"handoffs":       gs.Handoffs,
+		"actor_steps":    gs.ActorSteps,
+		"allocs_avoided": gs.AllocsAvoided,
 	}
 	return metrics, counters, nil
 }

@@ -73,6 +73,17 @@ type Port interface {
 	// bridge: one resource spanning both directions, derated bandwidth,
 	// hardware IDE latency per transaction.
 	BridgeDMA(p *sim.Proc, d Direction, n int64)
+
+	// The A-forms are the continuation-passing counterparts used by actor
+	// chains (run-to-completion tasks and Proc Await bridges): same costs
+	// and blocking semantics, with step(state) run when the operation
+	// completes — inline when it completes synchronously.
+	EncryptA(a *sim.Actor, n int64, step func(any), state any)
+	DecryptA(a *sim.Actor, n int64, step func(any), state any)
+	BounceAcquireA(a *sim.Actor, n int64, step func(any), state any)
+	HostMemcpyA(a *sim.Actor, n int64, step func(any), state any)
+	DMAA(a *sim.Actor, d Direction, n int64, step func(any), state any)
+	BridgeDMAA(a *sim.Actor, d Direction, n int64, step func(any), state any)
 }
 
 // Mode is one protection model. Predicates steer the scattered cost sites
@@ -115,6 +126,12 @@ type Mode interface {
 	// Migrate runs one UVM page-move batch (fault service and hypercalls
 	// are charged by the caller; Migrate owns staging, crypto, and DMA).
 	Migrate(port Port, p *sim.Proc, dir Direction, bytes int64)
+	// TransferA is the continuation form of Transfer: the chain runs under
+	// a and ends in step(state); the managed flag is policy, not timing, so
+	// it is returned synchronously before the chain completes.
+	TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) (managed bool)
+	// MigrateA is the continuation form of Migrate.
+	MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any)
 }
 
 // chunks calls fn once per DMA transaction of at most chunk bytes.
@@ -128,16 +145,74 @@ func chunks(bytes, chunk int64, fn func(n int64)) {
 	}
 }
 
-// directTransfer is the unprotected copy path shared by Off and the legacy
+// chunkFrame drives one continuation-passing copy or page-move chain. One
+// frame is allocated per Transfer/Migrate call — copies are orders of
+// magnitude rarer than engine events, so these are not pooled. The `one`
+// hook runs a single chunk of f.n bytes and must end in chunkNext; a
+// single-shot chain (Migrate) starts with off == bytes so chunkNext
+// completes after the one chunk already in flight.
+type chunkFrame struct {
+	port   Port
+	a      *sim.Actor
+	dir    Direction
+	off    int64 // offset after the chunk in flight
+	bytes  int64
+	chunk  int64
+	n      int64 // size of the chunk in flight
+	pinned bool
+	one    func(f *chunkFrame)
+	step   func(any)
+	state  any
+}
+
+// chunkNext starts the next chunk, or completes the chain.
+func chunkNext(x any) {
+	f := x.(*chunkFrame)
+	if f.off >= f.bytes {
+		f.step(f.state)
+		return
+	}
+	n := f.bytes - f.off
+	if n > f.chunk {
+		n = f.chunk
+	}
+	f.n = n
+	f.off += n
+	f.one(f)
+}
+
+// transferAwait adapts a mode's TransferA chain to the blocking Transfer
+// contract: the chain runs under the process's Await bridge, costing at
+// most one context switch regardless of chunk count.
+func transferAwait(m Mode, port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	var managed bool
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		managed = m.TransferA(port, a, dir, bytes, chunk, pinned, step, state)
+	})
+	return managed
+}
+
+// migrateAwait adapts a mode's MigrateA chain to the blocking Migrate contract.
+func migrateAwait(m Mode, port Port, p *sim.Proc, dir Direction, bytes int64) {
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		m.MigrateA(port, a, dir, bytes, step, state)
+	})
+}
+
+// directChunk is the unprotected copy path shared by Off and the legacy
 // TEE-IO projection: pageable buffers pay a staging memcpy, then chunked
 // DMA at link rate.
-func directTransfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) {
-	chunks(bytes, chunk, func(n int64) {
-		if !pinned {
-			port.HostMemcpy(p, n)
-		}
-		port.DMA(p, dir, n)
-	})
+func directChunk(f *chunkFrame) {
+	if f.pinned {
+		directStaged(f)
+		return
+	}
+	f.port.HostMemcpyA(f.a, f.n, directStaged, f)
+}
+
+func directStaged(x any) {
+	f := x.(*chunkFrame)
+	f.port.DMAA(f.a, f.dir, f.n, chunkNext, f)
 }
 
 // registry lists the canonical modes in a fixed order (no map, so listing

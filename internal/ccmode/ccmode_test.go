@@ -126,6 +126,31 @@ func (pt *opPort) BridgeDMA(p *sim.Proc, d Direction, n int64) {
 	pt.rec("bridge-" + d.String())
 }
 
+func (pt *opPort) EncryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.rec("enc")
+	a.Sleep(time.Duration(n), step, state)
+}
+func (pt *opPort) DecryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.rec("dec")
+	a.Sleep(time.Duration(n), step, state)
+}
+func (pt *opPort) BounceAcquireA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.rec("acq")
+	step(state)
+}
+func (pt *opPort) HostMemcpyA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.rec("host")
+	step(state)
+}
+func (pt *opPort) DMAA(a *sim.Actor, d Direction, n int64, step func(any), state any) {
+	pt.rec("dma-" + d.String())
+	step(state)
+}
+func (pt *opPort) BridgeDMAA(a *sim.Actor, d Direction, n int64, step func(any), state any) {
+	pt.rec("bridge-" + d.String())
+	step(state)
+}
+
 // run drives one mode.Transfer inside an engine and returns the recorded
 // operation sequence plus the managed flag.
 func run(t *testing.T, m Mode, dir Direction, bytes, chunk int64, pinned bool) ([]string, bool) {

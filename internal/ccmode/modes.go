@@ -42,14 +42,26 @@ func (Off) FaultBatch(base, cc int) int { return base }
 func (Off) FaultHypercalls(configured int) int { return 0 }
 
 // Transfer implements Mode: direct chunked DMA, staging pageable buffers.
-func (Off) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
-	directTransfer(port, p, dir, bytes, chunk, pinned)
-	return false
+func (m Off) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	return transferAwait(m, port, p, dir, bytes, chunk, pinned)
 }
 
 // Migrate implements Mode: UVM pages move in one plain DMA per batch.
-func (Off) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
-	port.DMA(p, dir, bytes)
+func (m Off) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
+	migrateAwait(m, port, p, dir, bytes)
+}
+
+// TransferA implements Mode.
+func (Off) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+		pinned: pinned, one: directChunk, step: step, state: state}
+	chunkNext(f)
+	return false
+}
+
+// MigrateA implements Mode.
+func (Off) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+	port.DMAA(a, dir, bytes, step, state)
 }
 
 // TDXH100 is the platform the paper measures: an Intel TDX trust domain
@@ -93,33 +105,58 @@ func (TDXH100) FaultHypercalls(configured int) int { return configured }
 // Transfer implements Mode: per chunk, reserve bounce space, encrypt before
 // H2D DMA (or decrypt after D2H), release. "Pinned" host memory rides this
 // same encrypted-paging path, so the transfer is reported managed.
-func (TDXH100) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
-	chunks(bytes, chunk, func(n int64) {
-		port.BounceAcquire(p, n)
-		if dir == H2D {
-			port.Encrypt(p, n)
-			port.DMA(p, dir, n)
-		} else {
-			port.DMA(p, dir, n)
-			port.Decrypt(p, n)
-		}
-		port.BounceRelease(n)
-	})
-	return pinned
+func (m TDXH100) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	return transferAwait(m, port, p, dir, bytes, chunk, pinned)
 }
 
 // Migrate implements Mode: encrypted paging — bounce staging plus software
 // crypto around the DMA, in the same order as the explicit copy path.
-func (TDXH100) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
-	port.BounceAcquire(p, bytes)
-	if dir == H2D {
-		port.Encrypt(p, bytes)
-		port.DMA(p, dir, bytes)
+func (m TDXH100) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
+	migrateAwait(m, port, p, dir, bytes)
+}
+
+// TransferA implements Mode.
+func (TDXH100) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+		one: tdxChunk, step: step, state: state}
+	chunkNext(f)
+	return pinned
+}
+
+// MigrateA implements Mode: one single-shot bounce+crypto+DMA chain.
+func (TDXH100) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+	f := &chunkFrame{port: port, a: a, dir: dir, off: bytes, bytes: bytes,
+		n: bytes, step: step, state: state}
+	tdxChunk(f)
+}
+
+func tdxChunk(f *chunkFrame) {
+	f.port.BounceAcquireA(f.a, f.n, tdxBounced, f)
+}
+
+func tdxBounced(x any) {
+	f := x.(*chunkFrame)
+	if f.dir == H2D {
+		f.port.EncryptA(f.a, f.n, tdxEncrypted, f)
 	} else {
-		port.DMA(p, dir, bytes)
-		port.Decrypt(p, bytes)
+		f.port.DMAA(f.a, f.dir, f.n, tdxLanded, f)
 	}
-	port.BounceRelease(bytes)
+}
+
+func tdxEncrypted(x any) {
+	f := x.(*chunkFrame)
+	f.port.DMAA(f.a, f.dir, f.n, tdxChunkEnd, f)
+}
+
+func tdxLanded(x any) {
+	f := x.(*chunkFrame)
+	f.port.DecryptA(f.a, f.n, tdxChunkEnd, f)
+}
+
+func tdxChunkEnd(x any) {
+	f := x.(*chunkFrame)
+	f.port.BounceRelease(f.n)
+	chunkNext(f)
 }
 
 // TEEIODirect is the legacy TDX Connect / PCIe TEE-IO projection the paper
@@ -162,22 +199,44 @@ func (TEEIODirect) FaultHypercalls(configured int) int { return 0 }
 
 // Transfer implements Mode: direct DMA like a legacy VM (hardware IDE runs
 // at line rate on the explicit copy path).
-func (TEEIODirect) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
-	directTransfer(port, p, dir, bytes, chunk, pinned)
-	return false
+func (m TEEIODirect) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	return transferAwait(m, port, p, dir, bytes, chunk, pinned)
 }
 
 // Migrate implements Mode: direct DMA plus the residual per-TLP IDE latency
 // (charged through the port's crypto primitives, which resolve to IDE for
 // non-software-crypto CC modes).
-func (TEEIODirect) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
+func (m TEEIODirect) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
+	migrateAwait(m, port, p, dir, bytes)
+}
+
+// TransferA implements Mode.
+func (TEEIODirect) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+		pinned: pinned, one: directChunk, step: step, state: state}
+	chunkNext(f)
+	return false
+}
+
+// MigrateA implements Mode: one single-shot IDE-crypto+DMA chain.
+func (TEEIODirect) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+	f := &chunkFrame{port: port, a: a, dir: dir, off: bytes, bytes: bytes,
+		n: bytes, step: step, state: state}
 	if dir == H2D {
-		port.Encrypt(p, bytes)
-		port.DMA(p, dir, bytes)
+		f.port.EncryptA(f.a, f.n, teeioEncrypted, f)
 	} else {
-		port.DMA(p, dir, bytes)
-		port.Decrypt(p, bytes)
+		f.port.DMAA(f.a, f.dir, f.n, teeioLanded, f)
 	}
+}
+
+func teeioEncrypted(x any) {
+	f := x.(*chunkFrame)
+	f.port.DMAA(f.a, f.dir, f.n, chunkNext, f)
+}
+
+func teeioLanded(x any) {
+	f := x.(*chunkFrame)
+	f.port.DecryptA(f.a, f.n, chunkNext, f)
 }
 
 // TEEIOBridge models Blackwell-generation GPU confidential computing as
@@ -223,17 +282,37 @@ func (TEEIOBridge) FaultHypercalls(configured int) int { return 0 }
 
 // Transfer implements Mode: every chunk crosses the serialized bridge
 // (pageable buffers still pay the staging memcpy first).
-func (TEEIOBridge) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
-	chunks(bytes, chunk, func(n int64) {
-		if !pinned {
-			port.HostMemcpy(p, n)
-		}
-		port.BridgeDMA(p, dir, n)
-	})
-	return false
+func (m TEEIOBridge) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	return transferAwait(m, port, p, dir, bytes, chunk, pinned)
 }
 
 // Migrate implements Mode: UVM batches cross the same serialized bridge.
-func (TEEIOBridge) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
-	port.BridgeDMA(p, dir, bytes)
+func (m TEEIOBridge) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
+	migrateAwait(m, port, p, dir, bytes)
+}
+
+// TransferA implements Mode.
+func (TEEIOBridge) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+		pinned: pinned, one: bridgeChunk, step: step, state: state}
+	chunkNext(f)
+	return false
+}
+
+// MigrateA implements Mode.
+func (TEEIOBridge) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+	port.BridgeDMAA(a, dir, bytes, step, state)
+}
+
+func bridgeChunk(f *chunkFrame) {
+	if f.pinned {
+		bridgeStaged(f)
+		return
+	}
+	f.port.HostMemcpyA(f.a, f.n, bridgeStaged, f)
+}
+
+func bridgeStaged(x any) {
+	f := x.(*chunkFrame)
+	f.port.BridgeDMAA(f.a, f.dir, f.n, chunkNext, f)
 }

@@ -60,9 +60,14 @@ func (m Pipelined) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
 	m.Inner.Migrate(port, p, dir, bytes)
 }
 
+// MigrateA implements Mode.
+func (m Pipelined) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+	m.Inner.MigrateA(port, a, dir, bytes, step, state)
+}
+
 // Transfer implements Mode. On the software-crypto path the cipher stage
-// and the DMA stage run in separate simulated processes connected by a
-// chunk queue:
+// and the DMA stage run as separate simulated tasks connected by a chunk
+// queue:
 //
 //	H2D: caller acquires bounce space and encrypts chunk i while the
 //	     companion DMAs chunk i-1 and releases its bounce space.
@@ -72,44 +77,161 @@ func (m Pipelined) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
 // The caller is charged until the last chunk has fully landed, so the
 // transfer remains blocking like the stock copy path.
 func (m Pipelined) Transfer(port Port, p *sim.Proc, dir Direction, bytes, chunk int64, pinned bool) bool {
+	return transferAwait(m, port, p, dir, bytes, chunk, pinned)
+}
+
+// pipeFrame carries one side (caller or companion) of a pipelined transfer.
+type pipeFrame struct {
+	port    Port
+	a       *sim.Actor
+	dir     Direction
+	off     int64
+	bytes   int64
+	chunk   int64
+	n       int64
+	i       int
+	nChunks int
+	q       *sim.Queue[int64]
+	done    *sim.Signal
+	step    func(any)
+	state   any
+}
+
+// TransferA implements Mode: the CPS form of the two-stage pipeline. The
+// companion DMA stage is a spawned actor; the caller stage runs on a.
+func (m Pipelined) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
 	if !m.Inner.SoftwareCryptoPath() {
-		return m.Inner.Transfer(port, p, dir, bytes, chunk, pinned)
+		return m.Inner.TransferA(port, a, dir, bytes, chunk, pinned, step, state)
 	}
 	nChunks := 0
 	chunks(bytes, chunk, func(int64) { nChunks++ })
 	eng := port.Engine()
-	q := sim.NewQueue[int64](eng)
+	q := sim.NewQueue[int64](eng).SetLabel("ccmode-pipelined")
 
 	if dir == H2D {
-		done := sim.NewSignal(eng)
-		eng.Spawn("ccmode-pipelined-dma", func(dp *sim.Proc) {
-			for i := 0; i < nChunks; i++ {
-				n := q.Get(dp)
-				port.DMA(dp, dir, n)
-				port.BounceRelease(n)
-			}
-			done.Fire()
+		done := sim.NewSignal(eng).SetLabel("ccmode-pipelined-done")
+		cf := &pipeFrame{port: port, dir: dir, nChunks: nChunks, q: q, done: done}
+		eng.SpawnActor("ccmode-pipelined-dma", func(ca *sim.Actor) {
+			cf.a = ca
+			pipeDrainNext(cf)
 		})
-		chunks(bytes, chunk, func(n int64) {
-			port.BounceAcquire(p, n)
-			port.Encrypt(p, n)
-			q.Put(n)
-		})
-		done.Wait(p)
+		f := &pipeFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+			q: q, done: done, step: step, state: state}
+		pipeFillNext(f)
 		return pinned
 	}
 
-	eng.Spawn("ccmode-pipelined-dma", func(dp *sim.Proc) {
-		chunks(bytes, chunk, func(n int64) {
-			port.BounceAcquire(dp, n)
-			port.DMA(dp, dir, n)
-			q.Put(n)
-		})
+	cf := &pipeFrame{port: port, dir: dir, bytes: bytes, chunk: chunk, q: q}
+	eng.SpawnActor("ccmode-pipelined-dma", func(ca *sim.Actor) {
+		cf.a = ca
+		pipeProduceNext(cf)
 	})
-	for i := 0; i < nChunks; i++ {
-		n := q.Get(p)
-		port.Decrypt(p, n)
-		port.BounceRelease(n)
-	}
+	f := &pipeFrame{port: port, a: a, dir: dir, nChunks: nChunks, q: q,
+		step: step, state: state}
+	pipeConsumeNext(f)
 	return pinned
+}
+
+// H2D caller stage: bounce-acquire and encrypt each chunk, hand it to the
+// companion, then wait for the last chunk to land.
+func pipeFillNext(x any) {
+	f := x.(*pipeFrame)
+	if f.off >= f.bytes {
+		f.done.WaitA(f.a, f.step, f.state)
+		return
+	}
+	n := f.bytes - f.off
+	if n > f.chunk {
+		n = f.chunk
+	}
+	f.n = n
+	f.off += n
+	f.port.BounceAcquireA(f.a, n, pipeFillBounced, f)
+}
+
+func pipeFillBounced(x any) {
+	f := x.(*pipeFrame)
+	f.port.EncryptA(f.a, f.n, pipeFillEncrypted, f)
+}
+
+func pipeFillEncrypted(x any) {
+	f := x.(*pipeFrame)
+	f.q.Put(f.n)
+	pipeFillNext(f)
+}
+
+// H2D companion stage: DMA each handed-over chunk and release its bounce
+// space; fire done after the last one.
+func pipeDrainNext(x any) {
+	f := x.(*pipeFrame)
+	if f.i == f.nChunks {
+		f.done.Fire()
+		f.a.Done()
+		return
+	}
+	f.i++
+	f.q.GetA(f.a, pipeDrainGot, f)
+}
+
+func pipeDrainGot(x any, n int64) {
+	f := x.(*pipeFrame)
+	f.n = n
+	f.port.DMAA(f.a, f.dir, n, pipeDrainLanded, f)
+}
+
+func pipeDrainLanded(x any) {
+	f := x.(*pipeFrame)
+	f.port.BounceRelease(f.n)
+	pipeDrainNext(f)
+}
+
+// D2H companion stage: bounce-acquire and DMA each chunk, then hand it to
+// the caller.
+func pipeProduceNext(x any) {
+	f := x.(*pipeFrame)
+	if f.off >= f.bytes {
+		f.a.Done()
+		return
+	}
+	n := f.bytes - f.off
+	if n > f.chunk {
+		n = f.chunk
+	}
+	f.n = n
+	f.off += n
+	f.port.BounceAcquireA(f.a, n, pipeProduceBounced, f)
+}
+
+func pipeProduceBounced(x any) {
+	f := x.(*pipeFrame)
+	f.port.DMAA(f.a, f.dir, f.n, pipeProduceLanded, f)
+}
+
+func pipeProduceLanded(x any) {
+	f := x.(*pipeFrame)
+	f.q.Put(f.n)
+	pipeProduceNext(f)
+}
+
+// D2H caller stage: decrypt each landed chunk and release its bounce space.
+func pipeConsumeNext(x any) {
+	f := x.(*pipeFrame)
+	if f.i == f.nChunks {
+		f.step(f.state)
+		return
+	}
+	f.i++
+	f.q.GetA(f.a, pipeConsumeGot, f)
+}
+
+func pipeConsumeGot(x any, n int64) {
+	f := x.(*pipeFrame)
+	f.n = n
+	f.port.DecryptA(f.a, n, pipeConsumeDecrypted, f)
+}
+
+func pipeConsumeDecrypted(x any) {
+	f := x.(*pipeFrame)
+	f.port.BounceRelease(f.n)
+	pipeConsumeNext(f)
 }

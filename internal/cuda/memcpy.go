@@ -58,24 +58,70 @@ func (c *Context) checkCopy(dst, src *Buffer, bytes int64) {
 // transfer. CUDA memory-copy APIs are blocking, which is why copies sit on
 // the critical path (Sec. VI-A).
 func (c *Context) Memcpy(dst, src *Buffer, bytes int64) {
+	c.p.Await(func(a *sim.Actor, step func(any), state any) {
+		c.MemcpyA(a, dst, src, bytes, step, state)
+	})
+}
+
+// memcpyFrame carries one in-flight MemcpyA through its step chain.
+type memcpyFrame struct {
+	c       *Context
+	a       *sim.Actor
+	kind    trace.Kind
+	dir     pcie.Direction
+	pinned  bool
+	d2d     bool
+	start   int64
+	bytes   int64
+	managed bool
+	step    func(any)
+	state   any
+}
+
+// MemcpyA is the continuation form of Memcpy, for run-to-completion
+// callers (the serve scheduler's swap and token-id traffic).
+func (c *Context) MemcpyA(a *sim.Actor, dst, src *Buffer, bytes int64, step func(any), state any) {
 	c.checkCopy(dst, src, bytes)
 	cl := classify(dst, src)
-	start := int64(c.p.Now())
-	rt := c.rt
-	c.p.Sleep(rt.params.CopySW)
-	if cl.d2d {
-		rt.dev.TransferDD(c.p, bytes)
-		c.record(trace.KindMemcpyD2D, "cudaMemcpy", start, bytes, false)
+	f := c.rt.memcpyFrames.Get()
+	*f = memcpyFrame{c: c, a: a, kind: cl.kind, dir: cl.dir, pinned: cl.pinned,
+		d2d: cl.d2d, start: int64(a.Now()), bytes: bytes, step: step, state: state}
+	a.Sleep(c.rt.params.CopySW, memcpyKicked, f)
+}
+
+func memcpyKicked(x any) {
+	f := x.(*memcpyFrame)
+	if f.d2d {
+		f.c.rt.dev.TransferDDA(f.a, f.bytes, memcpyLanded, f)
 		return
 	}
-	rt.pl.MMIO(c.p) // copy-engine kick
-	managed := rt.dev.TransferHD(c.p, cl.dir, bytes, cl.pinned)
-	kind := cl.kind
-	if managed {
+	f.c.rt.pl.MMIOA(f.a, memcpyMMIOed, f) // copy-engine kick
+}
+
+func memcpyMMIOed(x any) {
+	f := x.(*memcpyFrame)
+	// A zero-byte transfer completes inline (checkCopy excludes it here,
+	// but keep the flag ordering safe regardless); a real one always
+	// crosses a DMA sleep, so the assignment lands before memcpyLanded.
+	f.managed = false
+	f.managed = f.c.rt.dev.TransferHDA(f.a, f.dir, f.bytes, f.pinned, memcpyLanded, f)
+}
+
+func memcpyLanded(x any) {
+	f := x.(*memcpyFrame)
+	c, a := f.c, f.a
+	kind := f.kind
+	if f.managed {
 		// Nsight labels CC "pinned" transfers as managed D2D (Obs. 1).
 		kind = trace.KindMemcpyD2D
 	}
-	c.record(kind, "cudaMemcpy", start, bytes, managed)
+	c.rt.tracer.Record(trace.Event{
+		Kind: kind, Name: "cudaMemcpy", Stream: -1,
+		Start: simTime(f.start), End: a.Now(), Bytes: f.bytes, Managed: f.managed,
+	})
+	step, state := f.step, f.state
+	c.rt.memcpyFrames.Put(f)
+	step(state)
 }
 
 // MemcpyAsync submits the transfer to a stream and returns once the command

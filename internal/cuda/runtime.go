@@ -33,6 +33,8 @@ type Runtime struct {
 	launches   int
 	inited     bool
 
+	memcpyFrames sim.FramePool[memcpyFrame]
+
 	secondary []secondaryDevice
 	nvlink    NVLinkParams
 }

@@ -144,8 +144,8 @@ func New(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, mem *hbm.Allocator,
 		mode:    pl.Mode(),
 		port:    tdx.NewPort(pl, link),
 		params:  params,
-		cmdproc: sim.NewResource(eng, 1),
-		compute: sim.NewResource(eng, conc),
+		cmdproc: sim.NewResource(eng, 1).SetLabel("gpu-cmdproc"),
+		compute: sim.NewResource(eng, conc).SetLabel("gpu-compute"),
 	}
 }
 
@@ -200,20 +200,37 @@ func (d *Device) dispatchCost() time.Duration {
 }
 
 // Channel is one GPFIFO command stream (a CUDA stream maps to one). Each
-// channel is drained in FIFO order by its own processor loop; dispatch and
-// the compute engine are shared across channels.
+// channel is drained in FIFO order by its own processor loop — a
+// run-to-completion actor state machine, since this is the hottest daemon
+// in the simulator — while dispatch and the compute engine are shared
+// across channels. The in-flight command state lives directly on the
+// Channel: exactly one command is ever being processed per channel, so the
+// loop allocates nothing in steady state.
 type Channel struct {
 	dev  *Device
 	id   int
 	q    *sim.Queue[command]
 	last *sim.Signal // completion of the most recent command
+
+	a       *sim.Actor
+	kc      kernelCmd // kernel in flight
+	cc      copyCmd   // copy in flight
+	wc      waitCmd   // barrier in flight
+	mai     int       // next managed access of the kernel in flight
+	start   sim.Time  // engine-start time of the command in flight
+	managed bool      // copy in flight was demoted to encrypted paging
 }
 
 // NewChannel creates and starts a channel.
 func (d *Device) NewChannel() *Channel {
-	ch := &Channel{dev: d, id: len(d.channels), q: sim.NewQueue[command](d.eng)}
+	name := fmt.Sprintf("gpu-ch%d", len(d.channels))
+	ch := &Channel{dev: d, id: len(d.channels),
+		q: sim.NewQueue[command](d.eng).SetLabel(name)}
 	d.channels = append(d.channels, ch)
-	d.eng.SpawnDaemon(fmt.Sprintf("gpu-ch%d", ch.id), ch.loop)
+	d.eng.SpawnActorDaemon(name, func(a *sim.Actor) {
+		ch.a = a
+		chanNext(ch)
+	})
 	return ch
 }
 
@@ -275,57 +292,118 @@ func (ch *Channel) SubmitMarker() *sim.Signal {
 	return done
 }
 
-// loop is the channel's processor: FIFO dispatch of commands to engines.
-func (ch *Channel) loop(p *sim.Proc) {
+// chanNext fetches the channel's next command — the top of the processor
+// loop.
+func chanNext(x any) {
+	ch := x.(*Channel)
+	ch.q.GetA(ch.a, chanDispatch, ch)
+}
+
+// chanDispatch routes one command to its engine chain, FIFO.
+func chanDispatch(x any, cmd command) {
+	ch := x.(*Channel)
 	d := ch.dev
-	for {
-		cmd := ch.q.Get(p)
-		switch c := cmd.(type) {
-		case kernelCmd:
-			cost := d.dispatchCost()
-			if c.graphed {
-				// Graph nodes after the first dispatch from on-device state.
-				cost = d.params.DispatchBase / 4
-			}
-			d.cmdproc.Use(p, cost)
-			d.compute.Acquire(p)
-			start := p.Now()
-			for _, ma := range c.spec.Managed {
-				ma.Range.GPUAccessAt(p, ma.Offset, ma.Bytes, ma.Random)
-			}
-			p.Sleep(d.KernelTime(c.spec))
-			d.compute.Release()
-			d.kernelsRun++
-			if d.tracer != nil {
-				d.tracer.Record(trace.Event{
-					Kind: trace.KindKernel, Name: c.spec.Name, Stream: ch.id,
-					Start: start, End: p.Now(), Seq: c.seq,
-				})
-			}
-			c.done.Fire()
-		case copyCmd:
-			d.cmdproc.Use(p, d.dispatchCost())
-			start := p.Now()
-			managed := d.TransferHD(p, c.dir, c.bytes, c.pinned)
-			if d.tracer != nil {
-				kind := c.kind
-				if managed {
-					// Nsight labels CC "pinned" transfers as managed D2D.
-					kind = trace.KindMemcpyD2D
-				}
-				d.tracer.Record(trace.Event{
-					Kind: kind, Name: "memcpyAsync", Stream: ch.id,
-					Start: start, End: p.Now(), Bytes: c.bytes, Managed: managed,
-				})
-			}
-			c.done.Fire()
-		case markerCmd:
-			c.done.Fire()
-		case waitCmd:
-			c.on.Wait(p)
-			c.done.Fire()
+	switch c := cmd.(type) {
+	case kernelCmd:
+		ch.kc = c
+		cost := d.dispatchCost()
+		if c.graphed {
+			// Graph nodes after the first dispatch from on-device state.
+			cost = d.params.DispatchBase / 4
 		}
+		d.cmdproc.UseA(ch.a, cost, kernelDispatched, ch)
+	case copyCmd:
+		ch.cc = c
+		d.cmdproc.UseA(ch.a, d.dispatchCost(), copyDispatched, ch)
+	case markerCmd:
+		c.done.Fire()
+		chanNext(ch)
+	case waitCmd:
+		ch.wc = c
+		c.on.WaitA(ch.a, chanWaited, ch)
 	}
+}
+
+func chanWaited(x any) {
+	ch := x.(*Channel)
+	done := ch.wc.done
+	ch.wc = waitCmd{}
+	done.Fire()
+	chanNext(ch)
+}
+
+func kernelDispatched(x any) {
+	ch := x.(*Channel)
+	ch.dev.compute.AcquireA(ch.a, kernelStarted, ch)
+}
+
+func kernelStarted(x any) {
+	ch := x.(*Channel)
+	ch.start = ch.a.Now()
+	ch.mai = 0
+	kernelFaults(ch)
+}
+
+// kernelFaults services the kernel's managed accesses one after another
+// (fault time lands inside the kernel, as Nsight sees it), then runs the
+// kernel itself.
+func kernelFaults(x any) {
+	ch := x.(*Channel)
+	spec := &ch.kc.spec
+	if ch.mai < len(spec.Managed) {
+		ma := spec.Managed[ch.mai]
+		ch.mai++
+		ma.Range.GPUAccessAtA(ch.a, ma.Offset, ma.Bytes, ma.Random, kernelFaults, ch)
+		return
+	}
+	ch.a.Sleep(ch.dev.KernelTime(*spec), kernelDone, ch)
+}
+
+func kernelDone(x any) {
+	ch := x.(*Channel)
+	d := ch.dev
+	c := ch.kc
+	ch.kc = kernelCmd{}
+	d.compute.Release()
+	d.kernelsRun++
+	if d.tracer != nil {
+		d.tracer.Record(trace.Event{
+			Kind: trace.KindKernel, Name: c.spec.Name, Stream: ch.id,
+			Start: ch.start, End: ch.a.Now(), Seq: c.seq,
+		})
+	}
+	c.done.Fire()
+	chanNext(ch)
+}
+
+func copyDispatched(x any) {
+	ch := x.(*Channel)
+	ch.start = ch.a.Now()
+	// Zero-byte copies (async D2D markers) complete inline, so the flag
+	// must be down before the call; a real transfer always crosses at
+	// least one DMA sleep, so the assignment lands before copyLanded runs.
+	ch.managed = false
+	ch.managed = ch.dev.TransferHDA(ch.a, ch.cc.dir, ch.cc.bytes, ch.cc.pinned, copyLanded, ch)
+}
+
+func copyLanded(x any) {
+	ch := x.(*Channel)
+	d := ch.dev
+	c := ch.cc
+	ch.cc = copyCmd{}
+	if d.tracer != nil {
+		kind := c.kind
+		if ch.managed {
+			// Nsight labels CC "pinned" transfers as managed D2D.
+			kind = trace.KindMemcpyD2D
+		}
+		d.tracer.Record(trace.Event{
+			Kind: kind, Name: "memcpyAsync", Stream: ch.id,
+			Start: ch.start, End: ch.a.Now(), Bytes: c.bytes, Managed: ch.managed,
+		})
+	}
+	c.done.Fire()
+	chanNext(ch)
 }
 
 // TransferHD moves bytes between host and device memory, charging the
@@ -348,6 +426,16 @@ func (d *Device) TransferHD(p *sim.Proc, dir pcie.Direction, bytes int64, pinned
 	return d.mode.Transfer(d.port, p, tdx.CCDirection(dir), bytes, d.params.ChunkBytes, pinned)
 }
 
+// TransferHDA is the continuation form of TransferHD; the managed flag is
+// policy, not timing, so it is returned synchronously.
+func (d *Device) TransferHDA(a *sim.Actor, dir pcie.Direction, bytes int64, pinned bool, step func(any), state any) (managed bool) {
+	if bytes <= 0 {
+		step(state)
+		return false
+	}
+	return d.mode.TransferA(d.port, a, tdx.CCDirection(dir), bytes, d.params.ChunkBytes, pinned, step, state)
+}
+
 // TransferDD is a device-to-device blit through L2/HBM; CC does not touch it
 // (HBM is inside the trust boundary).
 func (d *Device) TransferDD(p *sim.Proc, bytes int64) {
@@ -355,6 +443,15 @@ func (d *Device) TransferDD(p *sim.Proc, bytes int64) {
 		return
 	}
 	p.Sleep(2*time.Microsecond + units.StreamDuration(bytes, d.params.BlitGBps))
+}
+
+// TransferDDA is the continuation form of TransferDD.
+func (d *Device) TransferDDA(a *sim.Actor, bytes int64, step func(any), state any) {
+	if bytes <= 0 {
+		step(state)
+		return
+	}
+	a.Sleep(2*time.Microsecond+units.StreamDuration(bytes, d.params.BlitGBps), step, state)
 }
 
 type waitCmd struct {

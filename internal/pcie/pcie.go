@@ -59,6 +59,7 @@ type Link struct {
 	dir    [2]*sim.Resource
 	moved  [2]int64
 	xfers  [2]uint64
+	frames sim.FramePool[xferFrame]
 	// bridge is the serialized encrypted CPU-GPU bridge used by TEE-IO
 	// bridge modes: one capacity-1 resource spanning BOTH directions, so
 	// H2D and D2H cannot overlap. Created lazily on first use.
@@ -70,7 +71,10 @@ func NewLink(eng *sim.Engine, params Params) *Link {
 	return &Link{
 		eng:    eng,
 		params: params,
-		dir:    [2]*sim.Resource{sim.NewResource(eng, 1), sim.NewResource(eng, 1)},
+		dir: [2]*sim.Resource{
+			sim.NewResource(eng, 1).SetLabel("pcie-h2d"),
+			sim.NewResource(eng, 1).SetLabel("pcie-d2h"),
+		},
 	}
 }
 
@@ -89,12 +93,36 @@ func (l *Link) TransferTime(n int64) time.Duration {
 // Transfer moves n bytes in direction d, charging queueing plus transfer
 // time to the calling process.
 func (l *Link) Transfer(p *sim.Proc, d Direction, n int64) {
-	r := l.dir[d]
-	r.Acquire(p)
-	p.Sleep(l.TransferTime(n))
-	r.Release()
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		l.TransferA(a, d, n, step, state)
+	})
+}
+
+// xferFrame carries one in-flight TransferA/BridgeTransferA; recycled
+// through the link's pool.
+type xferFrame struct {
+	l     *Link
+	d     Direction
+	n     int64
+	step  func(any)
+	state any
+}
+
+// TransferA is the continuation form of Transfer: acquire the directional
+// DMA engine, hold it for the transfer time, release, then run step(state).
+func (l *Link) TransferA(a *sim.Actor, d Direction, n int64, step func(any), state any) {
+	f := l.frames.Get()
+	f.l, f.d, f.n, f.step, f.state = l, d, n, step, state
+	l.dir[d].UseA(a, l.TransferTime(n), xferDone, f)
+}
+
+func xferDone(x any) {
+	f := x.(*xferFrame)
+	l, d, n, step, state := f.l, f.d, f.n, f.step, f.state
+	l.frames.Put(f)
 	l.moved[d] += n
 	l.xfers[d]++
+	step(state)
 }
 
 // BridgeTransfer moves n bytes through the serialized encrypted bridge
@@ -104,8 +132,15 @@ func (l *Link) Transfer(p *sim.Proc, d Direction, n int64) {
 // of the link's setup cost. A non-positive gbps falls back to the link's
 // full-duplex rate (serialization without derating).
 func (l *Link) BridgeTransfer(p *sim.Proc, d Direction, n int64, gbps float64, perTLP time.Duration) {
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		l.BridgeTransferA(a, d, n, gbps, perTLP, step, state)
+	})
+}
+
+// BridgeTransferA is the continuation form of BridgeTransfer.
+func (l *Link) BridgeTransferA(a *sim.Actor, d Direction, n int64, gbps float64, perTLP time.Duration, step func(any), state any) {
 	if l.bridge == nil {
-		l.bridge = sim.NewResource(l.eng, 1)
+		l.bridge = sim.NewResource(l.eng, 1).SetLabel("pcie-bridge")
 	}
 	if gbps <= 0 {
 		gbps = l.params.EffectiveGBps
@@ -114,11 +149,9 @@ func (l *Link) BridgeTransfer(p *sim.Proc, d Direction, n int64, gbps float64, p
 		n = 0
 	}
 	t := l.params.TransactionLatency + perTLP + units.StreamDuration(n, gbps)
-	l.bridge.Acquire(p)
-	p.Sleep(t)
-	l.bridge.Release()
-	l.moved[d] += n
-	l.xfers[d]++
+	f := l.frames.Get()
+	f.l, f.d, f.n, f.step, f.state = l, d, n, step, state
+	l.bridge.UseA(a, t, xferDone, f)
 }
 
 // BridgeBusy returns the cumulative busy time of the serialized bridge

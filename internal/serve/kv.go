@@ -2,16 +2,16 @@ package serve
 
 import "hccsim/internal/hbm"
 
-// kvPool accounts paged KV-cache memory against an hbm.Allocator: fixed
+// kvPool accounts paged KV-cache memory against an hbm.SlotAllocator: fixed
 // 2 MiB-class blocks of KVBlockTokens tokens each, allocated as sequences
 // grow one token per decode iteration and released on completion or
 // preemption. Because every block is the same size the heap never
-// fragments, so admission feasibility reduces to a free-block count — but
-// routing it through the real allocator keeps the accounting honest
-// (alignment, peak tracking, invariant checks) and shared with the rest of
-// the memory model.
+// fragments, so admission feasibility reduces to a free-block count — and
+// the uniform-granule allocator hands out exactly the offsets first-fit
+// would, without the general free list's O(n) release cost, which
+// dominated steady-state decode profiles.
 type kvPool struct {
-	alloc       *hbm.Allocator
+	alloc       *hbm.SlotAllocator
 	blockBytes  int64
 	blockTokens int
 	totalBlocks int
@@ -24,11 +24,7 @@ func newKVPool(capBytes, tokenBytes int64, blockTokens int) *kvPool {
 	blockBytes := int64(blockTokens) * tokenBytes
 	total := int(capBytes / blockBytes)
 	p := &kvPool{
-		alloc: hbm.NewAllocator(hbm.Params{
-			CapacityBytes: int64(total) * blockBytes,
-			BandwidthGBps: 1, // unused: the pool is an accountant, not a timing model
-			AlignBytes:    blockBytes,
-		}),
+		alloc:       hbm.NewSlotAllocator(blockBytes, total),
 		blockBytes:  blockBytes,
 		blockTokens: blockTokens,
 		totalBlocks: total,
@@ -47,7 +43,7 @@ func (k *kvPool) blocksFor(tokens int) int {
 
 // freeBlocks returns the number of unallocated blocks.
 func (k *kvPool) freeBlocks() int {
-	return int(k.alloc.Free() / k.blockBytes)
+	return k.alloc.FreeSlots()
 }
 
 // fitsEver reports whether a sequence of maxTokens can ever hold its full
@@ -71,7 +67,7 @@ func (k *kvPool) admit(s *request, tokens int, force bool) bool {
 		return false
 	}
 	for i := 0; i < need; i++ {
-		off, ok := k.alloc.TryAlloc(k.blockBytes)
+		off, ok := k.alloc.TryAlloc()
 		if !ok {
 			// Unreachable given the free-count check above (uniform blocks
 			// cannot fragment); fail closed by rolling back.
@@ -88,7 +84,7 @@ func (k *kvPool) admit(s *request, tokens int, force bool) bool {
 // boundaries; returns false (state unchanged) when the pool is exhausted.
 func (k *kvPool) grow(s *request) bool {
 	if k.blocksFor(s.kvTokens+1) > len(s.kvBlocks) {
-		off, ok := k.alloc.TryAlloc(k.blockBytes)
+		off, ok := k.alloc.TryAlloc()
 		if !ok {
 			return false
 		}

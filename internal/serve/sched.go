@@ -70,17 +70,12 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, sys)
-	waiting := sim.NewQueue[*request](eng)
-	ready := sim.NewSignal(eng)
+	waiting := sim.NewQueue[*request](eng).SetLabel("serve-waiting")
+	ready := sim.NewSignal(eng).SetLabel("serve-ready")
 
 	var (
-		rep        Report
-		running    []*request
-		genDone    bool
-		startAt    sim.Time
-		lastDoneAt sim.Time
-		tokensOut  int64
-		batchSum   int64
+		rep     Report
+		startAt sim.Time
 	)
 
 	eng.Spawn("serve:generator", func(p *sim.Proc) {
@@ -98,159 +93,33 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 		waiting.Put(nil) // sentinel: offered load is done
 	})
 
+	l := &schedLoop{
+		cfg: cfg, kv: kv, waiting: waiting, rep: &rep, model: model,
+		hostCost: hostCost, tokenBytes: tokenBytes,
+	}
 	eng.Spawn("serve:scheduler", func(p *sim.Proc) {
 		c := rt.Bind(p)
 		// Model state resident before traffic starts: weights, the KV pool,
 		// token id staging, and the pinned swap buffer (which CC modes
 		// demote to the encrypted-paging path).
 		c.Malloc("weights", nn.WeightBytes(quant))
-		dKV := c.Malloc("kv-pool", int64(kv.totalBlocks)*kv.blockBytes)
-		dIO := c.Malloc("token-ids", idsBytes)
-		hIO := c.HostBuffer("token-ids-host", idsBytes)
-		hSwap := c.MallocHost("kv-swap", swapBytes)
+		l.dKV = c.Malloc("kv-pool", int64(kv.totalBlocks)*kv.blockBytes)
+		l.dIO = c.Malloc("token-ids", idsBytes)
+		l.hIO = c.HostBuffer("token-ids-host", idsBytes)
+		l.hSwap = c.MallocHost("kv-swap", swapBytes)
+		l.c = c
 		startAt = p.Now()
 		ready.Fire()
-
-		preempt := func(v *request) {
-			bytes := int64(v.kvTokens) * tokenBytes
-			c.Memcpy(hSwap, dKV, bytes) // swap out D2H
-			kv.release(v)
-			v.swappedOut = true
-			v.preemptions++
-			rep.Preemptions++
-			rep.SwapOutBytes += bytes
-			waiting.PutFront(v)
-		}
-
-		for {
-			// Admission phase.
-			var admitted []*request
-			prefillTokens := 0
-			for len(running) < cfg.MaxBatch && prefillTokens < cfg.MaxPrefillTokens {
-				s, ok := waiting.TryGet()
-				if !ok {
-					break
-				}
-				if s == nil {
-					genDone = true
-					continue
-				}
-				if !kv.fitsEver(s.promptTokens + s.outputTokens) {
-					s.rejected = true
-					rep.Rejected++
-					continue
-				}
-				resident := s.promptTokens + s.generated
-				if s.swappedOut {
-					// Restore exactly the KV that was swapped out (a running
-					// sequence holds prompt+generated-1 resident tokens: the
-					// prefill's first token costs no growth).
-					resident = s.kvTokens
-				}
-				force := len(running) == 0
-				if !kv.admit(s, resident, force) {
-					waiting.PutFront(s)
-					break
-				}
-				if s.swappedOut {
-					// Swap the preempted KV back in (H2D) and resume decoding.
-					bytes := int64(s.kvTokens) * tokenBytes
-					c.Memcpy(dKV, hSwap, bytes)
-					rep.SwapInBytes += bytes
-					s.swappedOut = false
-					running = append(running, s)
-					continue
-				}
-				admitted = append(admitted, s)
-				running = append(running, s)
-				prefillTokens += s.promptTokens
-			}
-
-			switch {
-			case len(admitted) > 0:
-				// Prefill iteration over the admitted prompts.
-				rep.PrefillIters++
-				c.Memcpy(dIO, hIO, int64(prefillTokens)*tokenIDBytes) // prompt ids H2D
-				p.Sleep(hostCost)
-				p.Sleep(model.prefill(prefillTokens))
-				c.Memcpy(hIO, dIO, int64(len(admitted))*tokenIDBytes) // first tokens D2H
-				now := simTime(p.Now())
-				for _, a := range admitted {
-					a.firstTokenAt = now
-					a.generated = 1
-					tokensOut++
-					if a.generated >= a.outputTokens {
-						a.doneAt = now
-						kv.release(a)
-						rep.Completed++
-						lastDoneAt = p.Now()
-					}
-				}
-				keep := running[:0]
-				for _, s := range running {
-					if s.doneAt == 0 {
-						keep = append(keep, s)
-					}
-				}
-				running = keep
-
-			case len(running) > 0:
-				// Decode iteration: one token per running sequence.
-				rep.DecodeIters++
-				for i := 0; i < len(running); i++ {
-					s := running[i]
-					for !kv.grow(s) {
-						v := len(running) - 1
-						if running[v] == s {
-							v--
-						}
-						if v < 0 {
-							panic("serve: KV pool cannot hold a solo sequence") // excluded by fitsEver
-						}
-						victim := running[v]
-						running = append(running[:v], running[v+1:]...)
-						if v < i {
-							i--
-						}
-						preempt(victim)
-					}
-				}
-				batch := len(running)
-				c.Memcpy(dIO, hIO, int64(batch)*tokenIDBytes) // fed-back token ids H2D
-				p.Sleep(hostCost)
-				p.Sleep(model.decode(batch))
-				c.Memcpy(hIO, dIO, int64(batch)*tokenIDBytes) // sampled ids D2H
-				batchSum += int64(batch)
-				tokensOut += int64(batch)
-				now := simTime(p.Now())
-				keep := running[:0]
-				for _, s := range running {
-					s.generated++
-					if s.generated >= s.outputTokens {
-						s.doneAt = now
-						kv.release(s)
-						rep.Completed++
-						lastDoneAt = p.Now()
-					} else {
-						keep = append(keep, s)
-					}
-				}
-				running = keep
-
-			case genDone && waiting.Len() == 0:
-				return
-
-			default:
-				// Idle: block for the next arrival (or the sentinel).
-				if s := waiting.Get(p); s == nil {
-					genDone = true
-				} else {
-					waiting.PutFront(s)
-				}
-			}
-		}
+		// The steady-state loop runs to completion: every iteration's copies,
+		// sleeps and queue waits fire inline in the engine, and this process
+		// resumes exactly once, when the last request has drained.
+		p.Await(func(a *sim.Actor, step func(any), state any) {
+			l.a, l.step, l.state = a, step, state
+			schedAdmit(l)
+		})
 	})
 	eng.Run()
+	lastDoneAt, tokensOut, batchSum := l.lastDoneAt, l.tokensOut, l.batchSum
 
 	rep.Mode = cfg.Mode
 	rep.Backend = cfg.Backend
@@ -298,4 +167,252 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 	rep.TPOT = summarize(&tpot)
 	rep.E2E = summarize(&e2e)
 	return rep
+}
+
+// schedLoop is the scheduler's steady-state loop as a run-to-completion
+// state machine. One instance serves the whole run, so the loop allocates
+// nothing per iteration; the step functions below are the direct CPS
+// transcription of the former goroutine loop — admission, then one
+// prefill/decode/idle iteration, then admission again.
+type schedLoop struct {
+	a     *sim.Actor
+	step  func(any) // resume the spawning process when the run drains
+	state any
+
+	c          *cuda.Context
+	cfg        Config
+	kv         *kvPool
+	waiting    *sim.Queue[*request]
+	rep        *Report
+	model      *costModel
+	hostCost   time.Duration
+	tokenBytes int64
+
+	dKV, dIO, hIO, hSwap *cuda.Buffer
+
+	running    []*request
+	genDone    bool
+	lastDoneAt sim.Time
+	tokensOut  int64
+	batchSum   int64
+
+	// per-iteration state
+	admitted      []*request
+	prefillTokens int
+	swap          *request // sequence whose KV copy is in flight
+	di            int      // decode growth cursor into running
+	batch         int
+}
+
+// schedAdmit starts an iteration: reset the admission sets and pull from
+// the waiting queue.
+func schedAdmit(x any) {
+	l := x.(*schedLoop)
+	l.admitted = l.admitted[:0]
+	l.prefillTokens = 0
+	schedAdmitNext(l)
+}
+
+// schedAdmitNext is the admission phase; it re-enters after each swap-in
+// copy completes.
+func schedAdmitNext(x any) {
+	l := x.(*schedLoop)
+	for len(l.running) < l.cfg.MaxBatch && l.prefillTokens < l.cfg.MaxPrefillTokens {
+		s, ok := l.waiting.TryGet()
+		if !ok {
+			break
+		}
+		if s == nil {
+			l.genDone = true
+			continue
+		}
+		if !l.kv.fitsEver(s.promptTokens + s.outputTokens) {
+			s.rejected = true
+			l.rep.Rejected++
+			continue
+		}
+		resident := s.promptTokens + s.generated
+		if s.swappedOut {
+			// Restore exactly the KV that was swapped out (a running
+			// sequence holds prompt+generated-1 resident tokens: the
+			// prefill's first token costs no growth).
+			resident = s.kvTokens
+		}
+		force := len(l.running) == 0
+		if !l.kv.admit(s, resident, force) {
+			l.waiting.PutFront(s)
+			break
+		}
+		if s.swappedOut {
+			// Swap the preempted KV back in (H2D) and resume decoding.
+			l.swap = s
+			l.c.MemcpyA(l.a, l.dKV, l.hSwap, int64(s.kvTokens)*l.tokenBytes, schedSwappedIn, l)
+			return
+		}
+		l.admitted = append(l.admitted, s)
+		l.running = append(l.running, s)
+		l.prefillTokens += s.promptTokens
+	}
+	schedIterate(l)
+}
+
+func schedSwappedIn(x any) {
+	l := x.(*schedLoop)
+	s := l.swap
+	l.swap = nil
+	l.rep.SwapInBytes += int64(s.kvTokens) * l.tokenBytes
+	s.swappedOut = false
+	l.running = append(l.running, s)
+	schedAdmitNext(l)
+}
+
+// schedIterate picks the iteration kind once admission settles.
+func schedIterate(x any) {
+	l := x.(*schedLoop)
+	switch {
+	case len(l.admitted) > 0:
+		// Prefill iteration over the admitted prompts.
+		l.rep.PrefillIters++
+		l.c.MemcpyA(l.a, l.dIO, l.hIO, int64(l.prefillTokens)*tokenIDBytes, schedPrefillIDsUp, l) // prompt ids H2D
+	case len(l.running) > 0:
+		// Decode iteration: one token per running sequence.
+		l.rep.DecodeIters++
+		l.di = 0
+		schedDecodeGrow(l)
+	case l.genDone && l.waiting.Len() == 0:
+		l.step(l.state) // run drained: resume the scheduler process
+	default:
+		// Idle: block for the next arrival (or the sentinel).
+		l.waiting.GetA(l.a, schedIdleGot, l)
+	}
+}
+
+func schedIdleGot(x any, s *request) {
+	l := x.(*schedLoop)
+	if s == nil {
+		l.genDone = true
+	} else {
+		l.waiting.PutFront(s)
+	}
+	schedAdmit(l)
+}
+
+func schedPrefillIDsUp(x any) {
+	l := x.(*schedLoop)
+	l.a.Sleep(l.hostCost, schedPrefillHostDone, l)
+}
+
+func schedPrefillHostDone(x any) {
+	l := x.(*schedLoop)
+	l.a.Sleep(l.model.prefill(l.prefillTokens), schedPrefillComputeDone, l)
+}
+
+func schedPrefillComputeDone(x any) {
+	l := x.(*schedLoop)
+	l.c.MemcpyA(l.a, l.hIO, l.dIO, int64(len(l.admitted))*tokenIDBytes, schedPrefillIDsDown, l) // first tokens D2H
+}
+
+func schedPrefillIDsDown(x any) {
+	l := x.(*schedLoop)
+	now := simTime(l.a.Now())
+	for _, s := range l.admitted {
+		s.firstTokenAt = now
+		s.generated = 1
+		l.tokensOut++
+		if s.generated >= s.outputTokens {
+			s.doneAt = now
+			l.kv.release(s)
+			l.rep.Completed++
+			l.lastDoneAt = l.a.Now()
+		}
+	}
+	keep := l.running[:0]
+	for _, s := range l.running {
+		if s.doneAt == 0 {
+			keep = append(keep, s)
+		}
+	}
+	l.running = keep
+	schedAdmit(l)
+}
+
+// schedDecodeGrow grows every running sequence's KV one token, preempting
+// the newest other sequence on pool exhaustion; it re-enters after each
+// swap-out copy completes, retrying the same sequence's growth. It panics
+// when no victim remains and the sequence still cannot grow — a pool too
+// small for a solo sequence, which fitsEver excluded at admission.
+func schedDecodeGrow(x any) {
+	l := x.(*schedLoop)
+	for l.di < len(l.running) {
+		s := l.running[l.di]
+		if !l.kv.grow(s) {
+			v := len(l.running) - 1
+			if l.running[v] == s {
+				v--
+			}
+			if v < 0 {
+				panic("serve: KV pool cannot hold a solo sequence") // excluded by fitsEver
+			}
+			victim := l.running[v]
+			l.running = append(l.running[:v], l.running[v+1:]...)
+			if v < l.di {
+				l.di--
+			}
+			l.swap = victim
+			l.c.MemcpyA(l.a, l.hSwap, l.dKV, int64(victim.kvTokens)*l.tokenBytes, schedPreempted, l) // swap out D2H
+			return
+		}
+		l.di++
+	}
+	l.batch = len(l.running)
+	l.c.MemcpyA(l.a, l.dIO, l.hIO, int64(l.batch)*tokenIDBytes, schedDecodeIDsUp, l) // fed-back token ids H2D
+}
+
+func schedPreempted(x any) {
+	l := x.(*schedLoop)
+	v := l.swap
+	l.swap = nil
+	l.kv.release(v)
+	v.swappedOut = true
+	v.preemptions++
+	l.rep.Preemptions++
+	l.rep.SwapOutBytes += int64(v.kvTokens) * l.tokenBytes
+	l.waiting.PutFront(v)
+	schedDecodeGrow(l)
+}
+
+func schedDecodeIDsUp(x any) {
+	l := x.(*schedLoop)
+	l.a.Sleep(l.hostCost, schedDecodeHostDone, l)
+}
+
+func schedDecodeHostDone(x any) {
+	l := x.(*schedLoop)
+	l.a.Sleep(l.model.decode(l.batch), schedDecodeComputeDone, l)
+}
+
+func schedDecodeComputeDone(x any) {
+	l := x.(*schedLoop)
+	l.c.MemcpyA(l.a, l.hIO, l.dIO, int64(l.batch)*tokenIDBytes, schedDecodeIDsDown, l) // sampled ids D2H
+}
+
+func schedDecodeIDsDown(x any) {
+	l := x.(*schedLoop)
+	l.batchSum += int64(l.batch)
+	l.tokensOut += int64(l.batch)
+	now := simTime(l.a.Now())
+	keep := l.running[:0]
+	for _, s := range l.running {
+		s.generated++
+		if s.generated >= s.outputTokens {
+			s.doneAt = now
+			l.kv.release(s)
+			l.rep.Completed++
+			l.lastDoneAt = l.a.Now()
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.running = keep
+	schedAdmit(l)
 }

@@ -1,24 +1,30 @@
 // Package sim implements a deterministic discrete-event simulation engine.
 //
-// The engine drives a set of cooperating processes over a virtual clock.
+// The engine drives a set of cooperating tasks over a virtual clock.
 // Exactly one goroutine — either the engine loop or a single process — runs
 // at any moment; control is handed back and forth explicitly, so simulations
-// are fully deterministic and process code needs no locking.
+// are fully deterministic and task code needs no locking.
 //
-// Processes are ordinary Go functions that receive a *Proc handle and use it
-// to sleep, wait on signals, acquire resources, and exchange items through
-// queues. Device models (command processors, copy engines, fault handlers)
-// and host programs (CUDA applications) are all written as processes.
+// Two task models share one engine (see DESIGN.md §12):
+//
+//   - Processes (Proc) are ordinary Go functions that receive a *Proc handle
+//     and use it to sleep, wait on signals, acquire resources, and exchange
+//     items through queues. Host programs with complex control flow (CUDA
+//     applications, workload scripts) are written as processes.
+//   - Actors are run-to-completion state machines whose continuation steps
+//     fire inline in the engine loop — no goroutine, no channel operations
+//     per resume. Hot daemon loops (device engines, schedulers) use them.
 //
 // Scheduling internals live in the eventq sub-package: a typed 4-ary
 // min-heap over an index-addressed arena with a free-list, so the steady
-// state neither boxes nor allocates per event. Process resumes are
-// scheduled as direct *Proc payloads (no closure per wake), and broadcast
-// wake-ups batch all waiters into a single event.
+// state neither boxes nor allocates per event. Process resumes are scheduled
+// as direct *Proc payloads and actor steps as (func(any), state) pairs — no
+// closure per wake in either model.
 package sim
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hccsim/internal/sim/eventq"
@@ -41,34 +47,36 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the instant as a duration offset from simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// item is one scheduled unit of work. Exactly one field is set:
+// item is one scheduled unit of work. Exactly one of fn, proc, cfn is set:
 //
-//	fn    — a generic callback;
-//	proc  — resume this single blocked process (the dominant case: Sleep,
-//	        Resource hand-over, Queue wake — no closure allocated);
-//	procs — resume this batch of processes in order (a Signal broadcast
-//	        collapsed into one event; the slice is taken from the signal's
-//	        waiter list, so batching allocates nothing either).
+//	fn   — a generic callback;
+//	proc — resume this single blocked process (Sleep, Resource hand-over,
+//	       Queue wake — no closure allocated);
+//	cfn  — run an actor continuation step cfn(carg) inline in the engine
+//	       loop (the run-to-completion resume path: no channel operations,
+//	       no goroutine switch, no allocation).
 type item struct {
-	fn    func()
-	proc  *Proc
-	procs []*Proc
+	fn   func()
+	proc *Proc
+	cfn  func(any)
+	carg any
 }
 
 // Stats is a snapshot of the engine's hot-path counters.
 type Stats struct {
 	// Fired counts dispatched events.
 	Fired uint64
-	// Scheduled counts enqueued events (single batched broadcast events
-	// count once; see ResumesBatched for the resumes they carried).
+	// Scheduled counts enqueued events.
 	Scheduled uint64
 	// Handoffs counts engine->process control transfers, each one a
-	// channel round trip — the irreducible cost of goroutine-based
-	// coroutines that resume batching amortizes scheduling around.
+	// channel round trip plus two goroutine switches — the irreducible
+	// cost of goroutine-based coroutines, and exactly what the actor
+	// runtime's inline steps avoid.
 	Handoffs uint64
-	// ResumesBatched counts process resumes that rode a broadcast event
-	// instead of costing their own schedule/pop pair.
-	ResumesBatched uint64
+	// ActorSteps counts actor continuation steps fired inline in the
+	// engine loop — resumes that cost no channel operation and no
+	// goroutine switch.
+	ActorSteps uint64
 	// AllocsAvoided counts event-arena slots served from the free-list —
 	// allocations the old pointer-heap design would have made.
 	AllocsAvoided uint64
@@ -82,14 +90,19 @@ type Engine struct {
 	now      Time
 	queue    eventq.Queue[item]
 	token    chan struct{} // control hand-back from the running process
-	procs    int           // processes spawned and not yet finished
+	procs    int           // non-daemon processes spawned and not yet finished
+	actors   int           // non-daemon actors spawned and not yet Done
 	blocked  int           // processes currently waiting on something
 	running  bool
 	fired    uint64
 	sched    uint64
 	handoffs uint64
-	batched  uint64
+	steps    uint64
 	flushed  Stats // counters already published to the global aggregates
+
+	// Live non-daemon tasks, in spawn order, for the deadlock report.
+	liveProcs  []*Proc
+	liveActors []*Actor
 }
 
 // NewEngine returns a fresh engine with the clock at zero.
@@ -111,12 +124,12 @@ func (e *Engine) Blocked() int { return e.blocked }
 // Stats returns a snapshot of the engine's scheduling counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Fired:          e.fired,
-		Scheduled:      e.sched,
-		Handoffs:       e.handoffs,
-		ResumesBatched: e.batched,
-		AllocsAvoided:  e.queue.Reused(),
-		HeapMaxDepth:   e.queue.MaxDepth(),
+		Fired:         e.fired,
+		Scheduled:     e.sched,
+		Handoffs:      e.handoffs,
+		ActorSteps:    e.steps,
+		AllocsAvoided: e.queue.Reused(),
+		HeapMaxDepth:  e.queue.MaxDepth(),
 	}
 }
 
@@ -136,11 +149,10 @@ func (e *Engine) scheduleProc(at Time, p *Proc) {
 	e.push(at, item{proc: p})
 }
 
-// scheduleBatch enqueues one event that resumes every process in procs, in
-// order. The engine takes ownership of the slice.
-func (e *Engine) scheduleBatch(at Time, procs []*Proc) {
-	e.push(at, item{procs: procs})
-	e.batched += uint64(len(procs))
+// scheduleStep enqueues an actor continuation at an absolute time. Like a
+// proc resume it allocates nothing: the (fn, arg) pair rides the arena.
+func (e *Engine) scheduleStep(at Time, fn func(any), arg any) {
+	e.push(at, item{cfn: fn, carg: arg})
 }
 
 // push enqueues it at an absolute time. Scheduling before now panics — the
@@ -159,17 +171,16 @@ func (e *Engine) dispatch(it item) {
 	switch {
 	case it.proc != nil:
 		e.handoff(it.proc)
-	case it.procs != nil:
-		for _, p := range it.procs {
-			e.handoff(p)
-		}
+	case it.cfn != nil:
+		e.steps++
+		it.cfn(it.carg)
 	default:
 		it.fn()
 	}
 }
 
 // Run dispatches events until the queue is empty, then returns the final
-// simulated time. Processes that are still blocked when the queue drains are
+// simulated time. Tasks that are still blocked when the queue drains are
 // deadlocked (they can never be resumed); Run panics in that case to surface
 // the modelling bug rather than silently dropping work.
 func (e *Engine) Run() Time {
@@ -191,10 +202,10 @@ func (e *Engine) Run() Time {
 }
 
 // RunUntil dispatches events with timestamps <= deadline and then stops,
-// advancing the clock to the deadline. Blocked processes whose wake-ups lie
+// advancing the clock to the deadline. Blocked tasks whose wake-ups lie
 // beyond the deadline are left blocked; but if the queue drains completely
-// while non-daemon processes are still blocked, they can never be resumed,
-// and RunUntil panics with the same deadlock report as Run.
+// while non-daemon tasks are still blocked, they can never be resumed, and
+// RunUntil panics with the same deadlock report as Run.
 func (e *Engine) RunUntil(deadline Time) Time {
 	defer e.flushGlobal()
 	for {
@@ -215,12 +226,32 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	return e.now
 }
 
-// checkDeadlock panics if non-daemon processes are blocked with no pending
-// events — the modelling bug both Run and RunUntil promise to surface.
+// checkDeadlock panics if non-daemon tasks are blocked with no pending
+// events — the modelling bug both Run and RunUntil promise to surface. The
+// report names each waiting process and actor and what it blocks on.
 func (e *Engine) checkDeadlock() {
-	if e.procs > 0 {
-		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked with no pending events", e.procs))
+	n := e.procs + e.actors
+	if n == 0 {
+		return
 	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock: %d task(s) blocked with no pending events:", n)
+	sep := " "
+	for _, p := range e.liveProcs {
+		if p.dead {
+			continue
+		}
+		fmt.Fprintf(&b, "%sproc %q waiting on %s", sep, p.name, p.blockReason())
+		sep = "; "
+	}
+	for _, a := range e.liveActors {
+		if a.done {
+			continue
+		}
+		fmt.Fprintf(&b, "%sactor %q waiting on %s", sep, a.name, a.blockReason())
+		sep = "; "
+	}
+	panic(b.String())
 }
 
 // Pending reports the number of events waiting in the queue.

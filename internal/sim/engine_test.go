@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -271,11 +272,21 @@ func TestQueueTryGet(t *testing.T) {
 
 func TestDeadlockDetection(t *testing.T) {
 	e := NewEngine()
-	s := NewSignal(e)
+	s := NewSignal(e).SetLabel("never-fired")
 	e.Spawn("stuck", func(p *Proc) { s.Wait(p) })
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected deadlock panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("deadlock panic value %T, want string", r)
+		}
+		for _, want := range []string{"sim: deadlock", `proc "stuck"`, `signal "never-fired"`} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("deadlock report %q missing %q", msg, want)
+			}
 		}
 	}()
 	e.Run()
@@ -370,8 +381,8 @@ func TestEngineStats(t *testing.T) {
 	if st.Handoffs == 0 {
 		t.Fatal("no handoffs counted despite four processes running")
 	}
-	if st.ResumesBatched != 3 {
-		t.Fatalf("ResumesBatched = %d, want 3 (one broadcast to three waiters)", st.ResumesBatched)
+	if st.ActorSteps != 0 {
+		t.Fatalf("ActorSteps = %d, want 0 in an all-Proc run", st.ActorSteps)
 	}
 	if st.HeapMaxDepth == 0 {
 		t.Fatal("HeapMaxDepth not tracked")

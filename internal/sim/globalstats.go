@@ -12,7 +12,7 @@ var (
 	gFired    atomic.Uint64
 	gSched    atomic.Uint64
 	gHandoffs atomic.Uint64
-	gBatched  atomic.Uint64
+	gSteps    atomic.Uint64
 	gReused   atomic.Uint64
 )
 
@@ -21,11 +21,11 @@ var (
 // and reported as zero here.
 func GlobalStats() Stats {
 	return Stats{
-		Fired:          gFired.Load(),
-		Scheduled:      gSched.Load(),
-		Handoffs:       gHandoffs.Load(),
-		ResumesBatched: gBatched.Load(),
-		AllocsAvoided:  gReused.Load(),
+		Fired:         gFired.Load(),
+		Scheduled:     gSched.Load(),
+		Handoffs:      gHandoffs.Load(),
+		ActorSteps:    gSteps.Load(),
+		AllocsAvoided: gReused.Load(),
 	}
 }
 
@@ -37,7 +37,7 @@ func ResetGlobalStats() {
 	gFired.Store(0)
 	gSched.Store(0)
 	gHandoffs.Store(0)
-	gBatched.Store(0)
+	gSteps.Store(0)
 	gReused.Store(0)
 }
 
@@ -48,7 +48,7 @@ func (e *Engine) flushGlobal() {
 	gFired.Add(st.Fired - e.flushed.Fired)
 	gSched.Add(st.Scheduled - e.flushed.Scheduled)
 	gHandoffs.Add(st.Handoffs - e.flushed.Handoffs)
-	gBatched.Add(st.ResumesBatched - e.flushed.ResumesBatched)
+	gSteps.Add(st.ActorSteps - e.flushed.ActorSteps)
 	gReused.Add(st.AllocsAvoided - e.flushed.AllocsAvoided)
 	e.flushed = st
 }

@@ -11,7 +11,23 @@ type Proc struct {
 	name   string
 	dead   bool
 	daemon bool
+
+	// blockedOn names what the process is parked on, for deadlock reports.
+	blockedOn string
+
+	// Await bridge state: the cached actor identity continuation chains run
+	// under, and where the current chain stands (see Await).
+	bridge *Actor
+	await  int8
 }
+
+// Await bridge states.
+const (
+	awaitIdle     int8 = iota // no chain in flight
+	awaitRunning              // start is executing on the caller's stack
+	awaitDoneSync             // chain completed without suspending
+	awaitBlocked              // process yielded; completion will hand off
+)
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -40,6 +56,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	p := &Proc{eng: e, resume: make(chan struct{}), name: name, daemon: daemon}
 	if !daemon {
 		e.procs++
+		e.liveProcs = trackLive(e.liveProcs, p, func(x *Proc) bool { return x.dead })
 	}
 	e.Schedule(0, func() {
 		go func() {
@@ -83,6 +100,7 @@ func (p *Proc) wake() {
 	if p.dead {
 		panic(fmt.Sprintf("sim: wake of finished process %q", p.name))
 	}
+	p.blockedOn = ""
 	p.eng.scheduleProc(p.eng.now, p)
 }
 
@@ -102,18 +120,93 @@ func (p *Proc) Sleep(d Duration) {
 	p.yield()
 }
 
-// Signal is a one-shot broadcast completion event: processes Wait on it and
-// all of them resume once Fire is called. Waiting on an already-fired signal
-// returns immediately. The zero value is not usable; use NewSignal.
+// Await runs start, a continuation-passing operation, and blocks the
+// process until the operation's chain calls step(state) — the bridge
+// between the two task models. The chain runs under the process's cached
+// bridge actor identity a; when it completes inline (no suspension), Await
+// returns without yielding, matching a synchronous fast path; when it
+// suspends, the process yields once and the chain's final step resumes it
+// with a single handoff, inline in whatever event completed the chain. A
+// blocking operation built from a k-step chain therefore costs the caller
+// at most one context switch instead of k.
+//
+// Await panics if nested — a chain must never start another chain through
+// the same process, since one bridge slot tracks completion.
+func (p *Proc) Await(start func(a *Actor, step func(any), state any)) {
+	if p.await != awaitIdle {
+		panic(fmt.Sprintf("sim: nested Await on process %q", p.name))
+	}
+	if p.bridge == nil {
+		p.bridge = &Actor{eng: p.eng, name: p.name, daemon: true, proc: p}
+	}
+	p.await = awaitRunning
+	start(p.bridge, finishAwait, p)
+	if p.await == awaitDoneSync {
+		p.await = awaitIdle
+		return
+	}
+	p.await = awaitBlocked
+	p.yield()
+	p.await = awaitIdle
+}
+
+// finishAwait is the completion step Await hands to the chain: a
+// synchronous completion just marks the chain done, while a completion
+// arriving from a later event hands control back to the blocked process.
+// It panics if the chain delivers its completion twice — a corrupted
+// continuation chain, the CPS analogue of a Proc body returning twice.
+func finishAwait(x any) {
+	p := x.(*Proc)
+	switch p.await {
+	case awaitRunning:
+		p.await = awaitDoneSync
+	case awaitBlocked:
+		p.eng.handoff(p)
+	default:
+		panic(fmt.Sprintf("sim: Await completion delivered twice to process %q", p.name))
+	}
+}
+
+// blockReason names what the process is waiting on for deadlock reports,
+// looking through an in-flight Await to what its chain is parked on.
+func (p *Proc) blockReason() string {
+	if p.await == awaitBlocked && p.bridge != nil && p.bridge.blockedOn != "" {
+		return p.bridge.blockedOn
+	}
+	if p.blockedOn != "" {
+		return p.blockedOn
+	}
+	return "unknown"
+}
+
+// blockReason is the actor counterpart of Proc.blockReason.
+func (a *Actor) blockReason() string {
+	if a.blockedOn != "" {
+		return a.blockedOn
+	}
+	return "unknown"
+}
+
+// Signal is a one-shot broadcast completion event: tasks wait on it and all
+// of them resume once Fire is called. Waiting on an already-fired signal
+// returns (or continues) immediately. The zero value is not usable; use
+// NewSignal.
 type Signal struct {
-	eng     *Engine
-	fired   bool
-	at      Time
-	waiters []*Proc
+	eng       *Engine
+	fired     bool
+	at        Time
+	waiters   []waiter
+	blockName string
 }
 
 // NewSignal returns a fresh, unfired signal.
-func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e, blockName: "signal"} }
+
+// SetLabel names the signal in deadlock reports and returns it.
+func (s *Signal) SetLabel(label string) *Signal {
+	s.blockName = fmt.Sprintf("signal %q", label)
+	return s
+}
 
 // Fired reports whether the signal has fired.
 func (s *Signal) Fired() bool { return s.fired }
@@ -124,29 +217,18 @@ func (s *Signal) At() Time { return s.at }
 // Fire marks the signal complete and resumes all waiters. Firing twice
 // panics: completion events in the model are strictly one-shot.
 //
-// All waiters resume at the same timestamp in Wait order. A broadcast to
-// several waiters is batched into a single event that hands control to each
-// in turn — the waiter list transfers to the event as-is, so firing costs
-// one heap operation and no allocation regardless of fan-out. The order is
-// identical to scheduling one wake per waiter (their events would occupy
-// consecutive sequence numbers, with nothing able to interleave).
+// All waiters resume at the same timestamp in Wait order: each wake-up is
+// scheduled in list order, so their events occupy consecutive sequence
+// numbers with nothing able to interleave, and Proc and actor waiters
+// resume in exactly the order they parked.
 func (s *Signal) Fire() {
 	if s.fired {
 		panic("sim: Signal fired twice")
 	}
 	s.fired = true
 	s.at = s.eng.now
-	switch len(s.waiters) {
-	case 0:
-	case 1:
-		s.waiters[0].wake()
-	default:
-		for _, w := range s.waiters {
-			if w.dead {
-				panic(fmt.Sprintf("sim: wake of finished process %q", w.name))
-			}
-		}
-		s.eng.scheduleBatch(s.eng.now, s.waiters)
+	for _, w := range s.waiters {
+		s.eng.wakeWaiter(w)
 	}
 	s.waiters = nil
 }
@@ -156,8 +238,20 @@ func (s *Signal) Wait(p *Proc) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{proc: p})
+	p.blockedOn = s.blockName
 	p.yield()
+}
+
+// WaitA parks step(state) until the signal fires, running it inline right
+// away if it already has — the actor counterpart of Wait.
+func (s *Signal) WaitA(a *Actor, step func(any), state any) {
+	if s.fired {
+		step(state)
+		return
+	}
+	a.blockedOn = s.blockName
+	s.waiters = append(s.waiters, waiter{actor: a, fn: step, arg: state})
 }
 
 // WaitAll blocks p until every signal in sigs has fired.

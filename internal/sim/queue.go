@@ -1,8 +1,11 @@
 package sim
 
+import "fmt"
+
 // Queue is an unbounded FIFO of T with blocking Get, used as the command
 // stream between producers (drivers, command processors) and consumers
-// (engines). Put never blocks.
+// (engines). Put never blocks. Proc getters (Get) and actor getters (GetA)
+// share one FIFO wait list.
 //
 // The type parameter removes the interface{} boxing the pre-generic queue
 // imposed on every item: device-model call sites (gpu command channels)
@@ -14,17 +17,25 @@ package sim
 // start whenever the queue drains, so an alternating Put/Get steady state
 // allocates nothing.
 type Queue[T any] struct {
-	eng     *Engine
-	items   []T
-	head    int
-	getters []*Proc
+	eng       *Engine
+	items     []T
+	head      int
+	getters   []waiter
+	blockName string
+	frames    FramePool[getFrame[T]]
 
 	maxDepth int
 	puts     uint64
 }
 
 // NewQueue returns an empty queue bound to e.
-func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e, blockName: "queue"} }
+
+// SetLabel names the queue in deadlock reports and returns it.
+func (q *Queue[T]) SetLabel(label string) *Queue[T] {
+	q.blockName = fmt.Sprintf("queue %q", label)
+	return q
+}
 
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
@@ -45,7 +56,7 @@ func (q *Queue[T]) Put(item T) {
 	if len(q.getters) > 0 {
 		g := q.getters[0]
 		q.getters = q.getters[1:]
-		g.wake()
+		q.eng.wakeWaiter(g)
 	}
 }
 
@@ -70,7 +81,7 @@ func (q *Queue[T]) PutFront(item T) {
 	if len(q.getters) > 0 {
 		g := q.getters[0]
 		q.getters = q.getters[1:]
-		g.wake()
+		q.eng.wakeWaiter(g)
 	}
 }
 
@@ -93,7 +104,8 @@ func (q *Queue[T]) take() T {
 // empty. Concurrent getters are served FIFO.
 func (q *Queue[T]) Get(p *Proc) T {
 	for q.Len() == 0 {
-		q.getters = append(q.getters, p)
+		q.getters = append(q.getters, waiter{proc: p})
+		p.blockedOn = q.blockName
 		p.yield()
 	}
 	return q.take()
@@ -107,4 +119,44 @@ func (q *Queue[T]) TryGet() (item T, ok bool) {
 		return zero, false
 	}
 	return q.take(), true
+}
+
+// getFrame carries one parked GetA; recycled through the queue's pool.
+type getFrame[T any] struct {
+	q     *Queue[T]
+	a     *Actor
+	step  func(any, T)
+	state any
+}
+
+// GetA delivers the oldest item to step(state, item) for an actor chain:
+// inline when the queue is non-empty (matching Get's synchronous path),
+// otherwise parking FIFO behind earlier getters of either task model. Like
+// Get's re-check loop, a woken getter that finds the queue drained again
+// re-parks at the back. Parked frames are pooled, so a steady-state
+// park/wake cycle allocates nothing.
+func (q *Queue[T]) GetA(a *Actor, step func(state any, item T), state any) {
+	if q.Len() > 0 {
+		step(state, q.take())
+		return
+	}
+	f := q.frames.Get()
+	f.q, f.a, f.step, f.state = q, a, step, state
+	a.blockedOn = q.blockName
+	q.getters = append(q.getters, waiter{actor: a, fn: getWake[T], arg: f})
+}
+
+// getWake resumes a parked GetA: deliver the head item, or re-park if
+// another getter drained the queue first.
+func getWake[T any](x any) {
+	f := x.(*getFrame[T])
+	q := f.q
+	if q.Len() == 0 {
+		f.a.blockedOn = q.blockName
+		q.getters = append(q.getters, waiter{actor: f.a, fn: getWake[T], arg: f})
+		return
+	}
+	step, state := f.step, f.state
+	q.frames.Put(f)
+	step(state, q.take())
 }

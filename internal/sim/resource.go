@@ -1,14 +1,19 @@
 package sim
 
+import "fmt"
+
 // Resource is a counted resource with FIFO admission: up to Capacity units
 // may be held at once; further Acquire calls block in arrival order. It
 // models serial or k-way hardware (a PCIe DMA engine, a pool of copy
-// engines, a single-threaded encryption worker).
+// engines, a single-threaded encryption worker). Proc and actor waiters
+// share one wait list, so admission order is FIFO across both task models.
 type Resource struct {
-	eng      *Engine
-	capacity int
-	inUse    int
-	waiters  []*Proc
+	eng       *Engine
+	capacity  int
+	inUse     int
+	waiters   []waiter
+	blockName string
+	usePool   FramePool[useFrame]
 
 	// Accounting for utilization reports.
 	busyTime   Duration
@@ -21,7 +26,13 @@ func NewResource(e *Engine, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{eng: e, capacity: capacity}
+	return &Resource{eng: e, capacity: capacity, blockName: "resource"}
+}
+
+// SetLabel names the resource in deadlock reports and returns it.
+func (r *Resource) SetLabel(label string) *Resource {
+	r.blockName = fmt.Sprintf("resource %q", label)
+	return r
 }
 
 // Capacity returns the total number of units.
@@ -30,7 +41,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 // InUse returns the number of units currently held.
 func (r *Resource) InUse() int { return r.inUse }
 
-// QueueLen returns the number of processes blocked in Acquire.
+// QueueLen returns the number of tasks blocked in Acquire.
 func (r *Resource) QueueLen() int { return len(r.waiters) }
 
 func (r *Resource) account() {
@@ -57,12 +68,27 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters = append(r.waiters, waiter{proc: p})
+	p.blockedOn = r.blockName
 	p.yield()
 	// Our releaser handed the unit to us directly; inUse already counts it.
 }
 
-// Release frees one unit. If processes are waiting, ownership passes to the
+// AcquireA takes one unit for an actor chain: when one is free the
+// continuation runs inline (matching Acquire's synchronous fast path),
+// otherwise it parks FIFO behind earlier waiters of either task model.
+func (r *Resource) AcquireA(a *Actor, step func(any), state any) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		step(state)
+		return
+	}
+	a.blockedOn = r.blockName
+	r.waiters = append(r.waiters, waiter{actor: a, fn: step, arg: state})
+}
+
+// Release frees one unit. If tasks are waiting, ownership passes to the
 // first waiter without the count dipping, preserving FIFO fairness.
 // Releasing an idle resource panics, since it means an unmatched
 // Acquire/Release pair.
@@ -73,7 +99,7 @@ func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		next := r.waiters[0]
 		r.waiters = r.waiters[1:]
-		next.wake()
+		r.eng.wakeWaiter(next)
 		return
 	}
 	r.account()
@@ -87,4 +113,35 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p)
 	p.Sleep(d)
 	r.Release()
+}
+
+// useFrame carries one UseA chain; recycled through the resource's pool.
+type useFrame struct {
+	r     *Resource
+	a     *Actor
+	d     Duration
+	step  func(any)
+	state any
+}
+
+// UseA is the actor counterpart of Use: acquire, hold for d, release, then
+// run step(state). The internal frames are pooled, so a steady-state UseA
+// chain allocates nothing.
+func (r *Resource) UseA(a *Actor, d Duration, step func(any), state any) {
+	f := r.usePool.Get()
+	f.r, f.a, f.d, f.step, f.state = r, a, d, step, state
+	r.AcquireA(a, useAcquired, f)
+}
+
+func useAcquired(x any) {
+	f := x.(*useFrame)
+	f.a.Sleep(f.d, useHeld, f)
+}
+
+func useHeld(x any) {
+	f := x.(*useFrame)
+	r, step, state := f.r, f.step, f.state
+	r.usePool.Put(f)
+	r.Release()
+	step(state)
 }

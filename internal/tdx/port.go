@@ -67,3 +67,33 @@ func (pt Port) DMA(p *sim.Proc, d ccmode.Direction, n int64) {
 func (pt Port) BridgeDMA(p *sim.Proc, d ccmode.Direction, n int64) {
 	pt.link.BridgeTransfer(p, PCIeDirection(d), n, pt.pl.params.BridgeGBps, pt.pl.params.IDEPerTLP)
 }
+
+// EncryptA implements ccmode.Port.
+func (pt Port) EncryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.pl.EncryptA(a, n, step, state)
+}
+
+// DecryptA implements ccmode.Port.
+func (pt Port) DecryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.pl.DecryptA(a, n, step, state)
+}
+
+// BounceAcquireA implements ccmode.Port.
+func (pt Port) BounceAcquireA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.pl.BounceAcquireA(a, n, step, state)
+}
+
+// HostMemcpyA implements ccmode.Port.
+func (pt Port) HostMemcpyA(a *sim.Actor, n int64, step func(any), state any) {
+	pt.pl.HostMemcpyA(a, n, step, state)
+}
+
+// DMAA implements ccmode.Port via the full-duplex link.
+func (pt Port) DMAA(a *sim.Actor, d ccmode.Direction, n int64, step func(any), state any) {
+	pt.link.TransferA(a, PCIeDirection(d), n, step, state)
+}
+
+// BridgeDMAA implements ccmode.Port via the serialized encrypted bridge.
+func (pt Port) BridgeDMAA(a *sim.Actor, d ccmode.Direction, n int64, step func(any), state any) {
+	pt.link.BridgeTransferA(a, PCIeDirection(d), n, pt.pl.params.BridgeGBps, pt.pl.params.IDEPerTLP, step, state)
+}

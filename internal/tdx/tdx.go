@@ -162,6 +162,9 @@ type Platform struct {
 	bounceUsed   int64
 	bounceWait   []*bounceWaiter
 	stats        Stats
+
+	cryptFrames  sim.FramePool[cryptFrame]
+	bounceFrames sim.FramePool[bounceFrame]
 }
 
 type bounceWaiter struct {
@@ -181,7 +184,8 @@ func NewPlatform(eng *sim.Engine, mode ccmode.Mode, params Params) *Platform {
 	if workers < 1 {
 		workers = 1
 	}
-	pl := &Platform{eng: eng, mode: mode, params: params, cryptoWorker: sim.NewResource(eng, workers)}
+	pl := &Platform{eng: eng, mode: mode, params: params,
+		cryptoWorker: sim.NewResource(eng, workers).SetLabel("tdx-crypto")}
 	if mode.CC() {
 		sc, err := swcrypto.NewSoftCrypto(params.CryptoCPU, params.CryptoAlg)
 		if err != nil {
@@ -232,6 +236,12 @@ func (pl *Platform) Hypercall(p *sim.Proc) {
 	p.Sleep(pl.params.Hypercall)
 }
 
+// HypercallA is the continuation form of Hypercall.
+func (pl *Platform) HypercallA(a *sim.Actor, step func(any), state any) {
+	pl.stats.Hypercalls++
+	a.Sleep(pl.params.Hypercall, step, state)
+}
+
 // MMIO charges one access to the passed-through GPU's BAR. In a legacy VM
 // this is a direct mapped access; in a TD it raises #VE and is forwarded to
 // the host via tdx_hypercall.
@@ -244,6 +254,18 @@ func (pl *Platform) MMIO(p *sim.Proc) {
 	}
 	pl.stats.VMExits++ // accounted as a (cheap) direct access, no real exit
 	p.Sleep(pl.params.MMIODirect)
+}
+
+// MMIOA is the continuation form of MMIO.
+func (pl *Platform) MMIOA(a *sim.Actor, step func(any), state any) {
+	pl.stats.MMIOs++
+	if pl.mode.MMIOTraps() {
+		pl.stats.Hypercalls++
+		a.Sleep(pl.params.Hypercall, step, state)
+		return
+	}
+	pl.stats.VMExits++
+	a.Sleep(pl.params.MMIODirect, step, state)
 }
 
 // MMIOCost returns the per-access MMIO latency without charging it, for
@@ -299,6 +321,16 @@ func (pl *Platform) HostMemcpy(p *sim.Proc, n int64) {
 	p.Sleep(units.StreamDuration(n, pl.params.HostMemcpyGBps))
 }
 
+// HostMemcpyA is the continuation form of HostMemcpy.
+func (pl *Platform) HostMemcpyA(a *sim.Actor, n int64, step func(any), state any) {
+	if n <= 0 {
+		step(state)
+		return
+	}
+	pl.stats.BytesStaged += n
+	a.Sleep(units.StreamDuration(n, pl.params.HostMemcpyGBps), step, state)
+}
+
 // BounceAcquire reserves n bytes of SWIOTLB bounce space, blocking while the
 // pool is exhausted, and charges the dma_direct_alloc mapping cost. It is a
 // no-op (returning instantly) in a legacy VM, where the device DMAs guest
@@ -308,17 +340,53 @@ func (pl *Platform) BounceAcquire(p *sim.Proc, n int64) {
 	if !pl.mode.SoftwareCryptoPath() || n <= 0 {
 		return
 	}
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		pl.BounceAcquireA(a, n, step, state)
+	})
+}
+
+// bounceFrame carries one in-flight BounceAcquireA; recycled through the
+// platform's pool.
+type bounceFrame struct {
+	pl    *Platform
+	a     *sim.Actor
+	n     int64
+	step  func(any)
+	state any
+}
+
+// BounceAcquireA is the continuation form of BounceAcquire: charge the DMA
+// mapping cost, wait (re-checking on every wake, like the blocking form's
+// loop) until the request fits in the pool, reserve, then run step(state).
+// Like BounceAcquire it panics on a request larger than the whole pool,
+// which could never be satisfied.
+func (pl *Platform) BounceAcquireA(a *sim.Actor, n int64, step func(any), state any) {
+	if !pl.mode.SoftwareCryptoPath() || n <= 0 {
+		step(state)
+		return
+	}
 	if n > pl.params.BounceBufBytes {
 		panic("tdx: bounce request exceeds pool size")
 	}
 	pl.stats.DMAMaps++
-	p.Sleep(pl.params.DMAMapBase)
-	for pl.bounceUsed+n > pl.params.BounceBufBytes {
-		w := &bounceWaiter{need: n, sig: sim.NewSignal(pl.eng)}
+	f := pl.bounceFrames.Get()
+	f.pl, f.a, f.n, f.step, f.state = pl, a, n, step, state
+	a.Sleep(pl.params.DMAMapBase, bounceMapped, f)
+}
+
+func bounceMapped(x any) {
+	f := x.(*bounceFrame)
+	pl := f.pl
+	if pl.bounceUsed+f.n > pl.params.BounceBufBytes {
+		w := &bounceWaiter{need: f.n, sig: sim.NewSignal(pl.eng).SetLabel("tdx-bounce")}
 		pl.bounceWait = append(pl.bounceWait, w)
-		w.sig.Wait(p)
+		w.sig.WaitA(f.a, bounceMapped, f)
+		return
 	}
-	pl.bounceUsed += n
+	pl.bounceUsed += f.n
+	step, state := f.step, f.state
+	pl.bounceFrames.Put(f)
+	step(state)
 }
 
 // BounceRelease returns n bytes to the bounce pool and wakes waiters whose
@@ -351,15 +419,9 @@ func (pl *Platform) Encrypt(p *sim.Proc, n int64) {
 	if !pl.mode.CC() || n <= 0 {
 		return
 	}
-	if !pl.mode.SoftwareCryptoPath() {
-		// Hardware IDE: link-layer encryption at line rate.
-		p.Sleep(pl.params.IDEPerTLP)
-		return
-	}
-	d := pl.crypto.Time(n)
-	pl.cryptoWorker.Use(p, d)
-	pl.stats.BytesEncrypted += n
-	pl.stats.EncryptTime += d
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		pl.EncryptA(a, n, step, state)
+	})
 }
 
 // Decrypt charges software AES-GCM decryption of n bytes. No-op without CC.
@@ -367,14 +429,60 @@ func (pl *Platform) Decrypt(p *sim.Proc, n int64) {
 	if !pl.mode.CC() || n <= 0 {
 		return
 	}
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		pl.DecryptA(a, n, step, state)
+	})
+}
+
+// cryptFrame carries one in-flight EncryptA/DecryptA; recycled through the
+// platform's pool.
+type cryptFrame struct {
+	pl      *Platform
+	n       int64
+	d       time.Duration
+	decrypt bool
+	step    func(any)
+	state   any
+}
+
+// EncryptA is the continuation form of Encrypt.
+func (pl *Platform) EncryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pl.cryptA(a, n, false, step, state)
+}
+
+// DecryptA is the continuation form of Decrypt.
+func (pl *Platform) DecryptA(a *sim.Actor, n int64, step func(any), state any) {
+	pl.cryptA(a, n, true, step, state)
+}
+
+func (pl *Platform) cryptA(a *sim.Actor, n int64, decrypt bool, step func(any), state any) {
+	if !pl.mode.CC() || n <= 0 {
+		step(state)
+		return
+	}
 	if !pl.mode.SoftwareCryptoPath() {
-		p.Sleep(pl.params.IDEPerTLP)
+		// Hardware IDE: link-layer encryption at line rate.
+		a.Sleep(pl.params.IDEPerTLP, step, state)
 		return
 	}
 	d := pl.crypto.Time(n)
-	pl.cryptoWorker.Use(p, d)
-	pl.stats.BytesDecrypted += n
-	pl.stats.DecryptTime += d
+	f := pl.cryptFrames.Get()
+	f.pl, f.n, f.d, f.decrypt, f.step, f.state = pl, n, d, decrypt, step, state
+	pl.cryptoWorker.UseA(a, d, cryptDone, f)
+}
+
+func cryptDone(x any) {
+	f := x.(*cryptFrame)
+	pl, step, state := f.pl, f.step, f.state
+	if f.decrypt {
+		pl.stats.BytesDecrypted += f.n
+		pl.stats.DecryptTime += f.d
+	} else {
+		pl.stats.BytesEncrypted += f.n
+		pl.stats.EncryptTime += f.d
+	}
+	pl.cryptFrames.Put(f)
+	step(state)
 }
 
 // CryptoTime returns the modelled (de)cryption time for n bytes without

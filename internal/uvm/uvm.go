@@ -80,6 +80,12 @@ type Manager struct {
 	residentLimit int64 // 0 = unlimited
 	clock         int64 // LRU clock for eviction
 	stats         Stats
+
+	accFrames sim.FramePool[accessFrame]
+	migFrames sim.FramePool[migrateFrame]
+	evFrames  sim.FramePool[evictFrame]
+	pfFrames  sim.FramePool[prefetchFrame]
+	wbFrames  sim.FramePool[writebackFrame]
 }
 
 // NewManager creates a UVM manager on the given substrates. It panics on
@@ -181,6 +187,30 @@ func (r *Range) GPUAccess(p *sim.Proc, bytes int64, random bool) {
 // execution (exactly how Nsight sees UVM kernels). Accessing a released
 // range panics.
 func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		r.GPUAccessAtA(a, off, bytes, random, step, state)
+	})
+}
+
+// accessFrame drives one GPUAccessAtA batch loop; recycled through the
+// manager's pool.
+type accessFrame struct {
+	m       *Manager
+	a       *sim.Actor
+	r       *Range
+	missing []int
+	start   int
+	batch   int
+	step    func(any)
+	state   any
+}
+
+// GPUAccessAtA is the continuation form of GPUAccessAt, used by the GPU
+// command-processor actor while a kernel runs. Residency checks happen
+// synchronously; when every page is resident, step(state) runs inline.
+// Like GPUAccessAt it panics on an access to a released range — the
+// modelled use-after-free.
+func (r *Range) GPUAccessAtA(a *sim.Actor, off, bytes int64, random bool, step func(any), state any) {
 	if r.released {
 		panic("uvm: access to released range")
 	}
@@ -205,17 +235,30 @@ func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 		}
 	}
 	if len(missing) == 0 {
+		step(state)
 		return
 	}
-	batch := m.batchSize(random)
-	for start := 0; start < len(missing); start += batch {
-		end := start + batch
-		if end > len(missing) {
-			end = len(missing)
-		}
-		n := end - start
-		m.migrateToGPU(p, r, missing[start:end], int64(n)*m.params.PageBytes)
+	f := m.accFrames.Get()
+	f.m, f.a, f.r, f.missing, f.batch, f.step, f.state = m, a, r, missing, m.batchSize(random), step, state
+	accessNext(f)
+}
+
+// accessNext migrates the next fault batch, or completes the access.
+func accessNext(x any) {
+	f := x.(*accessFrame)
+	if f.start >= len(f.missing) {
+		m, step, state := f.m, f.step, f.state
+		m.accFrames.Put(f)
+		step(state)
+		return
 	}
+	end := f.start + f.batch
+	if end > len(f.missing) {
+		end = len(f.missing)
+	}
+	pageIdx := f.missing[f.start:end]
+	f.start = end
+	f.m.migrateToGPUA(f.a, f.r, pageIdx, int64(len(pageIdx))*f.m.params.PageBytes, accessNext, f)
 }
 
 // PrefetchTo migrates the first `bytes` of the range to the device ahead
@@ -225,6 +268,29 @@ func (r *Range) GPUAccessAt(p *sim.Proc, off, bytes int64, random bool) {
 // data still crosses the bounce buffer and the software cipher under CC,
 // but in streaming form. Prefetching a released range panics.
 func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		r.PrefetchToA(a, bytes, step, state)
+	})
+}
+
+// prefetchFrame drives one PrefetchToA batch loop; recycled through the
+// manager's pool.
+type prefetchFrame struct {
+	m       *Manager
+	a       *sim.Actor
+	r       *Range
+	missing []int
+	start   int
+	end     int
+	n       int64 // bytes in the batch in flight
+	startT  sim.Time
+	step    func(any)
+	state   any
+}
+
+// PrefetchToA is the continuation form of PrefetchTo. Like PrefetchTo it
+// panics on a released range — the modelled use-after-free.
+func (r *Range) PrefetchToA(a *sim.Actor, bytes int64, step func(any), state any) {
 	if r.released {
 		panic("uvm: prefetch of released range")
 	}
@@ -242,40 +308,90 @@ func (r *Range) PrefetchTo(p *sim.Proc, bytes int64) {
 		}
 	}
 	if len(missing) == 0 {
+		step(state)
 		return
 	}
-	batch := m.params.BatchPages // full batches in both modes
-	for start := 0; start < len(missing); start += batch {
-		end := start + batch
-		if end > len(missing) {
-			end = len(missing)
-		}
-		n := int64(end-start) * m.params.PageBytes
-		startT := m.eng.Now()
-		m.mode.Migrate(m.port, p, ccmode.H2D, n)
-		for _, i := range missing[start:end] {
-			if !r.resident[i] {
-				r.resident[i] = true
-				r.onGPU++
-				m.residentBytes += m.params.PageBytes
-			}
-		}
-		m.stats.PagesMigrated += int64(end - start)
-		m.stats.BytesToGPU += n
-		m.evictIfNeeded(p, r)
-		if m.tracer != nil {
-			m.tracer.Record(trace.Event{
-				Kind: trace.KindFaultBatch, Name: "uvm-prefetch",
-				Start: startT, End: m.eng.Now(), Bytes: n, Managed: true,
-			})
+	f := m.pfFrames.Get()
+	f.m, f.a, f.r, f.missing, f.step, f.state = m, a, r, missing, step, state
+	prefetchNext(f)
+}
+
+// prefetchNext moves the next full batch, or completes the prefetch.
+// Driver-initiated migration always moves full prefetch-sized batches and
+// pays no per-fault round trip.
+func prefetchNext(x any) {
+	f := x.(*prefetchFrame)
+	m := f.m
+	if f.start >= len(f.missing) {
+		step, state := f.step, f.state
+		m.pfFrames.Put(f)
+		step(state)
+		return
+	}
+	end := f.start + m.params.BatchPages // full batches in both modes
+	if end > len(f.missing) {
+		end = len(f.missing)
+	}
+	f.end = end
+	f.n = int64(end-f.start) * m.params.PageBytes
+	f.startT = m.eng.Now()
+	m.mode.MigrateA(m.port, f.a, ccmode.H2D, f.n, prefetchMoved, f)
+}
+
+func prefetchMoved(x any) {
+	f := x.(*prefetchFrame)
+	m := f.m
+	for _, i := range f.missing[f.start:f.end] {
+		if !f.r.resident[i] {
+			f.r.resident[i] = true
+			f.r.onGPU++
+			m.residentBytes += m.params.PageBytes
 		}
 	}
+	m.stats.PagesMigrated += int64(f.end - f.start)
+	m.stats.BytesToGPU += f.n
+	m.evictIfNeededA(f.a, f.r, prefetchEvicted, f)
+}
+
+func prefetchEvicted(x any) {
+	f := x.(*prefetchFrame)
+	m := f.m
+	if m.tracer != nil {
+		m.tracer.Record(trace.Event{
+			Kind: trace.KindFaultBatch, Name: "uvm-prefetch",
+			Start: f.startT, End: m.eng.Now(), Bytes: f.n, Managed: true,
+		})
+	}
+	f.start = f.end
+	prefetchNext(f)
 }
 
 // HostAccess charges a CPU-side touch of the first `bytes` of the range:
 // resident pages migrate back (write-back), paying decryption under CC.
 // Accessing a released range panics.
 func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
+	p.Await(func(a *sim.Actor, step func(any), state any) {
+		r.HostAccessA(a, bytes, step, state)
+	})
+}
+
+// writebackFrame drives one HostAccessA batch loop; recycled through the
+// manager's pool.
+type writebackFrame struct {
+	m     *Manager
+	a     *sim.Actor
+	back  int64
+	moved int64
+	batch int64
+	step  func(any)
+	state any
+}
+
+// HostAccessA is the continuation form of HostAccess. Residency is cleared
+// synchronously; the write-back batches then migrate one after another.
+// Like HostAccess it panics on a released range — the modelled
+// use-after-free.
+func (r *Range) HostAccessA(a *sim.Actor, bytes int64, step func(any), state any) {
 	if r.released {
 		panic("uvm: access to released range")
 	}
@@ -292,18 +408,31 @@ func (r *Range) HostAccess(p *sim.Proc, bytes int64) {
 		}
 	}
 	if back == 0 {
+		step(state)
 		return
 	}
 	r.onGPU -= back
 	m.residentBytes -= back * m.params.PageBytes
-	batch := int64(m.batchSize(false))
-	for moved := int64(0); moved < back; moved += batch {
-		n := batch
-		if back-moved < n {
-			n = back - moved
-		}
-		m.migrateToHost(p, n*m.params.PageBytes)
+	f := m.wbFrames.Get()
+	f.m, f.a, f.back, f.batch, f.step, f.state = m, a, back, int64(m.batchSize(false)), step, state
+	writebackNext(f)
+}
+
+func writebackNext(x any) {
+	f := x.(*writebackFrame)
+	m := f.m
+	if f.moved >= f.back {
+		step, state := f.step, f.state
+		m.wbFrames.Put(f)
+		step(state)
+		return
 	}
+	n := f.batch
+	if f.back-f.moved < n {
+		n = f.back - f.moved
+	}
+	f.moved += n
+	m.migrateToHostA(f.a, n*m.params.PageBytes, writebackNext, f)
 }
 
 func (m *Manager) nextClock() int64 {
@@ -311,76 +440,150 @@ func (m *Manager) nextClock() int64 {
 	return m.clock
 }
 
-// migrateToGPU services one fault batch: fault round trip, mode-dependent
+// migrateFrame carries one fault-batch or write-back migration; recycled
+// through the manager's pool.
+type migrateFrame struct {
+	m       *Manager
+	a       *sim.Actor
+	r       *Range // target range; nil on the write-back path
+	pageIdx []int
+	bytes   int64
+	toHost  bool
+	startT  sim.Time
+	hc      int // hypercall round trips still to charge
+	step    func(any)
+	state   any
+}
+
+// migrateToGPUA services one fault batch: fault round trip, mode-dependent
 // hypercalls, the mode's page-move transform (bounce staging + software
 // crypto, direct DMA, or the serialized bridge), and residency bookkeeping
 // (with LRU eviction when over the resident limit).
-func (m *Manager) migrateToGPU(p *sim.Proc, r *Range, pageIdx []int, bytes int64) {
-	start := m.eng.Now()
-	p.Sleep(m.params.FaultService)
-	for i, n := 0, m.mode.FaultHypercalls(m.params.CCFaultHypercalls); i < n; i++ {
-		m.pl.Hypercall(p)
-	}
-	m.mode.Migrate(m.port, p, ccmode.H2D, bytes)
+func (m *Manager) migrateToGPUA(a *sim.Actor, r *Range, pageIdx []int, bytes int64, step func(any), state any) {
+	f := m.migFrames.Get()
+	f.m, f.a, f.r, f.pageIdx, f.bytes, f.step, f.state = m, a, r, pageIdx, bytes, step, state
+	f.startT = m.eng.Now()
+	f.hc = m.mode.FaultHypercalls(m.params.CCFaultHypercalls)
+	a.Sleep(m.params.FaultService, migServiced, f)
+}
 
-	for _, i := range pageIdx {
-		if !r.resident[i] {
-			r.resident[i] = true
-			r.onGPU++
+// migrateToHostA writes a batch back to host memory. Under CC the GPU-side
+// encryption is fast, but the host-side software decryption is the same
+// single-threaded worker as on the copy path.
+func (m *Manager) migrateToHostA(a *sim.Actor, bytes int64, step func(any), state any) {
+	f := m.migFrames.Get()
+	f.m, f.a, f.bytes, f.toHost, f.step, f.state = m, a, bytes, true, step, state
+	f.startT = m.eng.Now()
+	f.hc = m.mode.FaultHypercalls(m.params.CCFaultHypercalls)
+	a.Sleep(m.params.FaultService, migServiced, f)
+}
+
+// migServiced charges the batch's hypercall round trips one by one, then
+// hands the page move to the protection mode.
+func migServiced(x any) {
+	f := x.(*migrateFrame)
+	if f.hc > 0 {
+		f.hc--
+		f.m.pl.HypercallA(f.a, migServiced, f)
+		return
+	}
+	dir := ccmode.H2D
+	if f.toHost {
+		dir = ccmode.D2H
+	}
+	f.m.mode.MigrateA(f.m.port, f.a, dir, f.bytes, migMoved, f)
+}
+
+func migMoved(x any) {
+	f := x.(*migrateFrame)
+	m := f.m
+	if f.toHost {
+		m.stats.FaultBatches++
+		m.stats.BytesToHost += f.bytes
+		if m.tracer != nil {
+			m.tracer.Record(trace.Event{
+				Kind: trace.KindFaultBatch, Name: "uvm-writeback",
+				Start: f.startT, End: m.eng.Now(), Bytes: f.bytes, Managed: true,
+			})
+		}
+		step, state := f.step, f.state
+		m.migFrames.Put(f)
+		step(state)
+		return
+	}
+	for _, i := range f.pageIdx {
+		if !f.r.resident[i] {
+			f.r.resident[i] = true
+			f.r.onGPU++
 			m.residentBytes += m.params.PageBytes
 		}
 	}
 	m.stats.FaultBatches++
-	m.stats.PagesMigrated += int64(len(pageIdx))
-	m.stats.BytesToGPU += bytes
-	m.evictIfNeeded(p, r)
+	m.stats.PagesMigrated += int64(len(f.pageIdx))
+	m.stats.BytesToGPU += f.bytes
+	m.evictIfNeededA(f.a, f.r, migEvicted, f)
+}
 
+func migEvicted(x any) {
+	f := x.(*migrateFrame)
+	m := f.m
 	if m.tracer != nil {
 		m.tracer.Record(trace.Event{
 			Kind: trace.KindFaultBatch, Name: "uvm-migrate",
-			Start: start, End: m.eng.Now(), Bytes: bytes, Managed: true,
+			Start: f.startT, End: m.eng.Now(), Bytes: f.bytes, Managed: true,
 		})
 	}
+	step, state := f.step, f.state
+	m.migFrames.Put(f)
+	step(state)
 }
 
-// migrateToHost writes a batch back to host memory. Under CC the GPU-side
-// encryption is fast, but the host-side software decryption is the same
-// single-threaded worker as on the copy path.
-func (m *Manager) migrateToHost(p *sim.Proc, bytes int64) {
-	start := m.eng.Now()
-	p.Sleep(m.params.FaultService)
-	for i, n := 0, m.mode.FaultHypercalls(m.params.CCFaultHypercalls); i < n; i++ {
-		m.pl.Hypercall(p)
-	}
-	m.mode.Migrate(m.port, p, ccmode.D2H, bytes)
-	m.stats.FaultBatches++
-	m.stats.BytesToHost += bytes
-	if m.tracer != nil {
-		m.tracer.Record(trace.Event{
-			Kind: trace.KindFaultBatch, Name: "uvm-writeback",
-			Start: start, End: m.eng.Now(), Bytes: bytes, Managed: true,
-		})
-	}
+// evictFrame drives one eviction loop; recycled through the manager's pool.
+type evictFrame struct {
+	m       *Manager
+	a       *sim.Actor
+	current *Range
+	step    func(any)
+	state   any
 }
 
-// evictIfNeeded pushes least-recently-touched ranges' pages back to host
-// until residency fits the limit. The currently faulting range is exempt.
-func (m *Manager) evictIfNeeded(p *sim.Proc, current *Range) {
-	if m.residentLimit <= 0 {
+// evictIfNeededA pushes least-recently-touched ranges' pages back to host
+// until residency fits the limit, re-checking after every write-back. The
+// currently faulting range is exempt.
+func (m *Manager) evictIfNeededA(a *sim.Actor, current *Range, step func(any), state any) {
+	if m.residentLimit <= 0 || m.residentBytes <= m.residentLimit {
+		step(state)
 		return
 	}
-	for m.residentBytes > m.residentLimit {
-		victim := m.lruVictim(current)
-		if victim == nil {
-			return // nothing evictable
-		}
-		evict := victim.onGPU
-		victim.resident = make([]bool, len(victim.resident))
-		victim.onGPU = 0
-		m.residentBytes -= evict * m.params.PageBytes
-		m.stats.Evictions += evict
-		m.migrateToHost(p, evict*m.params.PageBytes)
+	f := m.evFrames.Get()
+	f.m, f.a, f.current, f.step, f.state = m, a, current, step, state
+	evictNext(f)
+}
+
+func evictNext(x any) {
+	f := x.(*evictFrame)
+	m := f.m
+	if m.residentBytes <= m.residentLimit {
+		evictDone(f)
+		return
 	}
+	victim := m.lruVictim(f.current)
+	if victim == nil {
+		evictDone(f) // nothing evictable
+		return
+	}
+	evict := victim.onGPU
+	victim.resident = make([]bool, len(victim.resident))
+	victim.onGPU = 0
+	m.residentBytes -= evict * m.params.PageBytes
+	m.stats.Evictions += evict
+	m.migrateToHostA(f.a, evict*m.params.PageBytes, evictNext, f)
+}
+
+func evictDone(f *evictFrame) {
+	step, state := f.step, f.state
+	f.m.evFrames.Put(f)
+	step(state)
 }
 
 func (m *Manager) lruVictim(exempt *Range) *Range {
