@@ -9,10 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"hccsim/internal/core"
 	"hccsim/internal/cuda"
+	"hccsim/internal/platform"
 	"hccsim/internal/workloads"
 )
 
@@ -21,9 +23,18 @@ func main() {
 	uvm := flag.Bool("uvm", false, "use the UVM variant")
 	ccMode := flag.String("mode", "tdx-h100",
 		"protection mode to compare against off: tdx-h100, tee-io-direct, tee-io-bridge (optionally +pipelined)")
+	platformName := flag.String("platform", "",
+		"hardware platform for both runs: "+strings.Join(platform.Names(), ", ")+" (default h100-tdx)")
 	flag.Parse()
 
-	prot, err := cuda.NewConfig(*ccMode)
+	prot, err := cuda.PlatformConfig(*platformName, *ccMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hccmodel:", err)
+		os.Exit(1)
+	}
+	// The off baseline runs on the same platform — the comparison isolates
+	// the protection mode, not the hardware generation.
+	off, err := cuda.PlatformConfig(*platformName, "off")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hccmodel:", err)
 		os.Exit(1)
@@ -34,18 +45,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		one(spec, *uvm, prot)
+		one(spec, *uvm, off, prot)
 		return
 	}
-	suite(prot)
+	suite(off, prot)
 }
 
-func one(spec workloads.Spec, uvm bool, prot cuda.Config) {
+func one(spec workloads.Spec, uvm bool, off, prot cuda.Config) {
 	mode := workloads.CopyExecute
 	if uvm {
 		mode = workloads.UVM
 	}
-	base := workloads.Execute(spec, mode, mustConfig("off"))
+	base := workloads.Execute(spec, mode, off)
 	cc := workloads.Execute(spec, mode, prot)
 	mb := core.Decompose(base.Runtime.Tracer())
 	mc := core.Decompose(cc.Runtime.Tracer())
@@ -60,11 +71,11 @@ func one(spec workloads.Spec, uvm bool, prot cuda.Config) {
 		mb.Predict(), mb.Total, prot.Mode, mc.Predict(), mc.Total)
 }
 
-func suite(prot cuda.Config) {
+func suite(off, prot cuda.Config) {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "APP\tKLR(off)\tKLR(%s)\tREGIME\tTOTAL/OFF\n", prot.Mode)
 	for _, spec := range workloads.All() {
-		base := workloads.Execute(spec, workloads.CopyExecute, mustConfig("off"))
+		base := workloads.Execute(spec, workloads.CopyExecute, off)
 		cc := workloads.Execute(spec, workloads.CopyExecute, prot)
 		mb := core.Decompose(base.Runtime.Tracer())
 		mc := core.Decompose(cc.Runtime.Tracer())
@@ -76,13 +87,4 @@ func suite(prot cuda.Config) {
 			spec.Name, mb.KLR(), mc.KLR(), regime, float64(mc.Total)/float64(mb.Total))
 	}
 	w.Flush()
-}
-
-// mustConfig resolves a static mode name; a failure is a programming error.
-func mustConfig(mode string) cuda.Config {
-	cfg, err := cuda.NewConfig(mode)
-	if err != nil {
-		panic(err)
-	}
-	return cfg
 }

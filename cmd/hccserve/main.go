@@ -6,6 +6,12 @@
 //
 //	hccserve -modes off,tdx-h100,tee-io-bridge+pipelined -rates 1.2,1.4,1.6
 //
+// -platform swaps the hardware calibration profile; modes must be valid on
+// the chosen platform (a B300-class bridge system serves tee-io-bridge, not
+// bounce-buffer TDX):
+//
+//	hccserve -platform b300-bridge -modes off,tee-io-bridge -rates 1.2,1.6
+//
 // The same experiment is scriptable as a sweep (hccsweep -serve ...) and as
 // a library call (hccsim.ServeTraffic / hccsim.ServeMaxQPS).
 package main
@@ -26,6 +32,8 @@ import (
 func main() {
 	modes := flag.String("modes", "off,tdx-h100,tee-io-bridge+pipelined",
 		"comma list of protection modes: "+strings.Join(hccsim.Modes(), ", ")+" (optionally +pipelined)")
+	platformName := flag.String("platform", "",
+		"hardware platform: "+strings.Join(hccsim.Platforms(), ", ")+" (default h100-tdx)")
 	rates := flag.String("rates", "1.2,1.4,1.6", "comma list of offered rates in requests/second")
 	backend := flag.String("backend", "vllm", "serving framework: vllm or hf")
 	quant := flag.String("quant", "bf16", "weight format: bf16 or awq")
@@ -36,14 +44,18 @@ func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	flag.Parse()
 
-	// Validate every mode up front — a bad name should fail before the first
-	// multi-second simulation, not after it.
+	// Validate the platform and every mode up front — a bad name or an
+	// illegal mode×platform pair should fail before the first multi-second
+	// simulation, not after it.
+	if _, err := hccsim.PlatformConfig(*platformName, "off"); err != nil {
+		fatal(fmt.Errorf("hccserve: invalid -platform: %v", err))
+	}
 	modeNames := splitList(*modes)
 	if len(modeNames) == 0 {
 		fatal(fmt.Errorf("hccserve: -modes is empty (valid: %s)", strings.Join(hccsim.Modes(), ", ")))
 	}
 	for _, m := range modeNames {
-		if _, err := hccsim.NewConfig(m); err != nil {
+		if _, err := hccsim.PlatformConfig(*platformName, m); err != nil {
 			fatal(fmt.Errorf("hccserve: invalid -modes entry %q: %v (valid: %s, optionally +pipelined)",
 				m, err, strings.Join(hccsim.Modes(), ", ")))
 		}
@@ -58,6 +70,7 @@ func main() {
 			Backend:  *backend,
 			Quant:    *quant,
 			Mode:     mode,
+			Platform: *platformName,
 			RateQPS:  rate,
 			Requests: *requests,
 			Seed:     *seed,

@@ -15,6 +15,11 @@
 // or as a cc.mode grid axis:
 //
 //	hccsweep -workloads gemm,atax -param cc.mode=off,tdx-h100,tee-io-bridge
+//
+// Hardware platforms are an axis as well, via -platforms or the hw.platform
+// grid axis — each named platform swaps in a full calibration profile:
+//
+//	hccsweep -workloads gemm,2dconv -param hw.platform=h100-tdx,b300-bridge
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"hccsim/internal/bench"
 	"hccsim/internal/ccmode"
 	"hccsim/internal/figures"
+	"hccsim/internal/platform"
 	"hccsim/internal/workloads"
 )
 
@@ -58,6 +64,7 @@ func main() {
 	serves := flag.String("serve", "", "serving-traffic cells backend:quant:rateQPS, comma list (e.g. vllm:bf16:1.4); sweep rates with -param serve.rate=...")
 	uvm := flag.Bool("uvm", false, "also sweep the UVM variant of UVM-capable workloads")
 	modes := flag.String("modes", "cc,base", "comma list of cc, base, or protection-mode names (off, tdx-h100, tee-io-direct, tee-io-bridge, optionally +pipelined)")
+	platforms := flag.String("platforms", "", "comma list of hardware-platform names (see hw.platform axis); sweeps every job across each platform")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (1 = serial)")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (empty = in-memory only)")
 	format := flag.String("format", "table", "output format: table, csv or json")
@@ -82,7 +89,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	jobs, err := buildJobs(*apps, *cnns, *llms, *serves, *uvm, *modes, axes)
+	platformNames, err := parsePlatforms(*platforms, axes)
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := buildJobs(*apps, *cnns, *llms, *serves, *uvm, *modes, platformNames, axes)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,8 +152,32 @@ func main() {
 	}
 }
 
-// buildJobs expands the app/mode/parameter axes into the job grid.
-func buildJobs(apps, cnns, llms, serves string, uvm bool, modes string, axes []batch.Axis) ([]batch.Job, error) {
+// parsePlatforms validates the -platforms flag up front — every name must
+// resolve through the platform registry before any job runs — and rejects
+// combining the flag with an hw.platform axis, which would silently square
+// the platform dimension.
+func parsePlatforms(s string, axes []batch.Axis) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	for _, ax := range axes {
+		if ax.Param == batch.PlatformAxis {
+			return nil, fmt.Errorf("hccsweep: -platforms and -param %s both sweep the platform; use one", batch.PlatformAxis)
+		}
+	}
+	var names []string
+	for _, f := range strings.Split(s, ",") {
+		p, err := platform.ByName(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("hccsweep: %v", err)
+		}
+		names = append(names, p.Name())
+	}
+	return names, nil
+}
+
+// buildJobs expands the app/mode/platform/parameter axes into the job grid.
+func buildJobs(apps, cnns, llms, serves string, uvm bool, modes string, platforms []string, axes []batch.Axis) ([]batch.Job, error) {
 	ccModes, err := parseModes(modes)
 	if err != nil {
 		return nil, err
@@ -196,12 +231,17 @@ func buildJobs(apps, cnns, llms, serves string, uvm bool, modes string, axes []b
 			jobs = append(jobs, m.apply(j))
 		}
 	}
+	if len(platforms) > 0 {
+		jobs = batch.GridPlatforms(jobs, platforms)
+	}
 	for _, ax := range axes {
 		switch ax.Param {
 		case batch.ModeAxis:
 			jobs = batch.GridModes(jobs, ax.Modes)
 		case batch.ServeRateAxis:
 			jobs = batch.GridServeRates(jobs, ax.Values)
+		case batch.PlatformAxis:
+			jobs = batch.GridPlatforms(jobs, ax.Platforms)
 		default:
 			jobs = batch.Grid(jobs, ax.Param, ax.Values)
 		}

@@ -24,7 +24,7 @@ func run(mode string, nvlink bool) (time.Duration, uint64, int64) {
 	rt := cuda.New(eng, cfg)
 	rt.AddDevice(cfg.PCIe, cfg.HBM, cfg.GPU)
 	if nvlink {
-		rt.SetNVLink(cuda.DefaultNVLink())
+		rt.SetNVLink(cfg.NVLink)
 	}
 	var total time.Duration
 	eng.Spawn("p2p", func(p *sim.Proc) {

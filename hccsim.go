@@ -43,6 +43,7 @@ import (
 	"hccsim/internal/figures"
 	"hccsim/internal/gpu"
 	"hccsim/internal/nn"
+	"hccsim/internal/platform"
 	"hccsim/internal/serve"
 	"hccsim/internal/sim"
 	"hccsim/internal/trace"
@@ -108,6 +109,18 @@ func NewConfig(mode string) (Config, error) { return cuda.NewConfig(mode) }
 // Modes lists the canonical protection-mode names.
 func Modes() []string { return ccmode.Names() }
 
+// Platforms lists the canonical hardware-platform names (see PlatformConfig).
+func Platforms() []string { return platform.Names() }
+
+// PlatformConfig returns a named hardware platform's calibration under a
+// named protection mode — "h100-tdx" is the Table I testbed (NewConfig's
+// platform); the registry adds projected systems such as "b300-bridge" and
+// "gh200-c2c". The mode must be valid on the platform; the error lists the
+// platform's legal modes otherwise.
+func PlatformConfig(platformName, mode string) (Config, error) {
+	return cuda.PlatformConfig(platformName, mode)
+}
+
 // System is one simulated guest (legacy VM or TD) with a GPU attached.
 type System struct {
 	eng *sim.Engine
@@ -160,17 +173,22 @@ func (s *System) Runtime() *cuda.Runtime { return s.rt }
 // CompareModes runs the same application unprotected and protected and
 // returns both fitted models plus the component-wise protected/base ratios.
 // The protected run uses cfg's own protection mode when it resolves to a CC
-// mode, and tdx-h100 otherwise, so a cfg prepared for any protected mode
-// compares that mode against its off baseline.
+// mode, and the platform's native CC mode otherwise (tdx-h100 on the default
+// h100-tdx platform), so a cfg prepared for any protected mode compares that
+// mode against its off baseline, and an off config on any platform compares
+// that platform's native protection against off.
 func CompareModes(cfg Config, app func(c *Context)) (base, cc Model, ratio core.Ratio) {
 	off := cfg
-	off.Mode = ""
+	off.Mode = "off"
 	off.CC = false
 	off.TDX.TEEIO = false
 	on := cfg
 	if m, err := on.ResolveMode(); err != nil || !m.CC() {
-		on.Mode = ""
 		on.CC = true
+		on.Mode = ""
+		if prof, err := on.ResolvePlatform(); err == nil {
+			on.Mode = prof.NativeMode()
+		}
 	}
 	sb := NewSystem(off)
 	sb.Run(app)

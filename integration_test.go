@@ -128,7 +128,7 @@ func TestHypercallAccountingScalesWithLaunches(t *testing.T) {
 	}
 	base := countFor(48)
 	more := countFor(480)
-	want := uint64((480 - 48) / cuda.DefaultParams().FenceInterval)
+	want := uint64((480 - 48) / cuda.DefaultConfig(false).Host.FenceInterval)
 	if got := more - base; got != want {
 		t.Fatalf("hypercall growth %d for 432 extra launches, want %d", got, want)
 	}

@@ -144,6 +144,7 @@ var DeterministicPackages = map[string]bool{
 	"hccsim/internal/serve":      true,
 	"hccsim/internal/uvm":        true,
 	"hccsim/internal/swcrypto":   true,
+	"hccsim/internal/platform":   true,
 }
 
 // Classify derives the scope flags for a package import path.

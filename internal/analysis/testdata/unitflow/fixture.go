@@ -88,6 +88,21 @@ func buildParams(sizeBytes int64) copyParams {
 	}
 }
 
+// hwProfile mirrors the platform registry's profile surface: fields with
+// unit-suffixed names seed units for flow checking exactly as in Params
+// types, so a byte count landing in a bandwidth slot is caught.
+type hwProfile struct {
+	BridgeGBps float64
+	PerOpNS    int64
+}
+
+func buildProfile(capBytes int64) hwProfile {
+	return hwProfile{
+		BridgeGBps: float64(capBytes), // want `Bytes value assigned to field GBps destination BridgeGBps: dimension mismatch`
+		PerOpNS:    capBytes,          // want `Bytes value assigned to field NS destination PerOpNS: dimension mismatch`
+	}
+}
+
 // --- negatives: idioms the analyzer must leave alone ---
 
 const itemsPerBatch = 2048

@@ -72,3 +72,15 @@ type BridgeParams struct {
 	//hcclint:unit NS
 	AckLatency int // want `no unit suffix.*-fix renames it to AckLatencyNS`
 }
+
+// HardwareProfile mirrors the platform registry's profile surface: Profile
+// types are calibration types by name, so their bare-numeric knobs are
+// findings just like Params/Config/Calib fields.
+type HardwareProfile struct {
+	BridgeRate  float64 // want `no unit suffix`
+	BridgeGBps  float64 // suffixed: fine
+	PerOpNS     int     // suffixed: fine
+	LinkWorkers int     // dimensionless count: fine
+
+	name string // unexported: not part of the calibration surface
+}

@@ -88,7 +88,8 @@ func runUnitSuffix(p *Pass) {
 }
 
 func isCalibrationTypeName(name string) bool {
-	return strings.Contains(name, "Params") || strings.Contains(name, "Config") || strings.Contains(name, "Calib")
+	return strings.Contains(name, "Params") || strings.Contains(name, "Config") ||
+		strings.Contains(name, "Calib") || strings.Contains(name, "Profile")
 }
 
 func checkCalibrationStruct(p *Pass, typeName string, st *ast.StructType) {

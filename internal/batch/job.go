@@ -18,6 +18,8 @@ import (
 	"strings"
 
 	"hccsim/internal/cuda"
+	"hccsim/internal/nn"
+	"hccsim/internal/platform"
 	"hccsim/internal/workloads"
 )
 
@@ -84,6 +86,12 @@ type Job struct {
 	// it takes precedence over the deprecated CC boolean. Empty keeps the
 	// legacy CC spelling.
 	Mode string `json:",omitempty"`
+
+	// Platform names the hardware profile (platform.ByName) the job runs
+	// on; empty means the default h100-tdx testbed. The profile seeds the
+	// base configuration before Mode and Overrides apply. Mutually
+	// exclusive with an explicit Config (which already carries its params).
+	Platform string `json:",omitempty"`
 
 	// Overrides patch named parameters of the default config, in order.
 	Overrides []Override `json:",omitempty"`
@@ -154,6 +162,10 @@ func (j Job) Label() string {
 		default:
 			b.WriteString("/base")
 		}
+		if j.Platform != "" {
+			b.WriteString("@")
+			b.WriteString(j.Platform)
+		}
 	}
 	for _, o := range j.Overrides {
 		b.WriteString("/")
@@ -162,8 +174,10 @@ func (j Job) Label() string {
 	return b.String()
 }
 
-// Validate checks the job spec without running it: the referenced workload,
-// model or names must exist and every override must resolve.
+// Validate checks the job spec without running it — every referenced name
+// (workload, model, precision, backend, quantization, protection mode,
+// platform) must resolve and every override must apply, so a bad name
+// fails before any job runs rather than mid-sweep.
 func (j Job) Validate() error {
 	switch j.Kind {
 	case KindWorkload:
@@ -174,20 +188,38 @@ func (j Job) Validate() error {
 		if j.Figure == "" {
 			return fmt.Errorf("batch: figure job without a figure id")
 		}
-		if len(j.Overrides) > 0 || j.Config != nil || j.Mode != "" {
+		if len(j.Overrides) > 0 || j.Config != nil || j.Mode != "" || j.Platform != "" {
 			return fmt.Errorf("batch: figure %s takes no config overrides (figures fix their own configurations)", j.Figure)
 		}
 	case KindCNN:
 		if j.Model == "" || j.Batch <= 0 || j.Precision == "" {
 			return fmt.Errorf("batch: cnn job needs model, batch and precision: %+v", j)
 		}
+		if _, err := nn.ModelByName(j.Model); err != nil {
+			return err
+		}
+		if _, err := nn.PrecisionByName(j.Precision); err != nil {
+			return err
+		}
 	case KindLLM:
 		if j.Backend == "" || j.Quant == "" || j.Batch <= 0 {
 			return fmt.Errorf("batch: llm job needs backend, quant and batch: %+v", j)
 		}
+		if _, err := nn.BackendByName(j.Backend); err != nil {
+			return err
+		}
+		if _, err := nn.QuantByName(j.Quant); err != nil {
+			return err
+		}
 	case KindServe:
 		if j.Backend == "" || j.Quant == "" || j.RateQPS <= 0 {
 			return fmt.Errorf("batch: serve job needs backend, quant and a positive rate: %+v", j)
+		}
+		if _, err := nn.BackendByName(j.Backend); err != nil {
+			return err
+		}
+		if _, err := nn.QuantByName(j.Quant); err != nil {
+			return err
 		}
 		if j.Requests < 0 {
 			return fmt.Errorf("batch: serve job with negative request count: %+v", j)
@@ -195,19 +227,32 @@ func (j Job) Validate() error {
 	default:
 		return fmt.Errorf("batch: unknown job kind %q", j.Kind)
 	}
+	if j.Platform != "" && j.Config != nil {
+		return fmt.Errorf("batch: job sets both Platform %q and an explicit Config; the config already carries its platform", j.Platform)
+	}
 	_, err := j.EffectiveConfig()
 	return err
 }
 
 // EffectiveConfig resolves the full system configuration the job runs under:
-// the base config (Config or DefaultConfig(CC)), Mode applied on top, then
-// Overrides in order, and finally normalized so every spelling of the same
-// protection mode (alias names, the legacy CC boolean, the deprecated
-// TDX.TEEIO flag) hashes and runs identically.
+// the base config (Config, the Platform profile, or DefaultConfig(CC)),
+// Mode applied on top, then Overrides in order, and finally normalized so
+// every spelling of the same protection mode and platform (alias names,
+// the legacy CC boolean, the deprecated TDX.TEEIO flag) hashes and runs
+// identically.
 func (j Job) EffectiveConfig() (cuda.Config, error) {
 	cfg := cuda.DefaultConfig(j.CC)
 	if j.Config != nil {
 		cfg = *j.Config
+	}
+	if j.Platform != "" {
+		base, err := cuda.PlatformBase(j.Platform)
+		if err != nil {
+			return cfg, err
+		}
+		base.CC = cfg.CC
+		base.Mode = cfg.Mode
+		cfg = base
 	}
 	if j.Mode != "" {
 		cfg.Mode = j.Mode
@@ -235,6 +280,43 @@ func GridModes(jobs []Job, modes []string) []Job {
 		for _, m := range modes {
 			nj := j
 			nj.Mode = m
+			if key, err := nj.Key(); err == nil {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			out = append(out, nj)
+		}
+	}
+	return out
+}
+
+// GridPlatforms expands every job once per hardware platform — the
+// hw.platform sweep axis of cmd/hccsweep. Jobs spelled with the legacy CC
+// boolean (Mode empty) get a concrete mode per platform: "off" for CC
+// false and the platform's native CC mode for CC true, because the
+// boolean's fixed tdx-h100 reading is not valid everywhere (a B300 runs
+// tee-io-bridge, not bounce-buffer TDX). Jobs that name a Mode keep it —
+// an illegal mode×platform pair then fails Validate before any job runs.
+// Like GridModes, jobs collapsing to the same cache key are dropped (first
+// occurrence wins) so sweep output stays byte-identical across -parallel
+// levels; unknown platform names are kept for Validate to report.
+func GridPlatforms(jobs []Job, platforms []string) []Job {
+	out := make([]Job, 0, len(jobs)*len(platforms))
+	seen := make(map[string]bool, len(jobs)*len(platforms))
+	for _, j := range jobs {
+		for _, name := range platforms {
+			nj := j
+			nj.Platform = name
+			if nj.Mode == "" && nj.Kind != KindFigure {
+				nj.Mode = "off"
+				if nj.CC {
+					if p, err := platform.ByName(name); err == nil {
+						nj.Mode = p.NativeMode()
+					}
+				}
+			}
 			if key, err := nj.Key(); err == nil {
 				if seen[key] {
 					continue

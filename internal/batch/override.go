@@ -10,6 +10,7 @@ import (
 
 	"hccsim/internal/ccmode"
 	"hccsim/internal/cuda"
+	"hccsim/internal/platform"
 )
 
 // Named configuration parameters. A parameter path is "Section.Field" over
@@ -139,13 +140,19 @@ const ModeAxis = "cc.mode"
 // of serving-traffic jobs (expand with GridServeRates).
 const ServeRateAxis = "serve.rate"
 
+// PlatformAxis is the reserved axis name sweeping the hardware platform
+// itself (expand with GridPlatforms).
+const PlatformAxis = "hw.platform"
+
 // Axis is one sweep dimension: a canonical "Section.Field" parameter path
 // and the grid values it takes (expand with Grid), or — when Param is
-// ModeAxis — a list of protection-mode names (expand with GridModes).
+// ModeAxis or PlatformAxis — a list of protection-mode or platform names
+// (expand with GridModes / GridPlatforms).
 type Axis struct {
-	Param  string
-	Values []float64
-	Modes  []string
+	Param     string
+	Values    []float64
+	Modes     []string
+	Platforms []string
 }
 
 // ParseAxis parses one "Name=v1,v2,..." grid-axis spec. The name may be a
@@ -168,6 +175,17 @@ func ParseAxis(s string) (Axis, error) {
 			modes = append(modes, m.Name())
 		}
 		return Axis{Param: ModeAxis, Modes: modes}, nil
+	}
+	if name == PlatformAxis {
+		var platforms []string
+		for _, f := range strings.Split(list, ",") {
+			p, err := platform.ByName(strings.TrimSpace(f))
+			if err != nil {
+				return Axis{}, fmt.Errorf("batch: axis %s: %v", PlatformAxis, err)
+			}
+			platforms = append(platforms, p.Name())
+		}
+		return Axis{Param: PlatformAxis, Platforms: platforms}, nil
 	}
 	if name == ServeRateAxis {
 		vals, err := parseAxisValues(name, list)

@@ -20,9 +20,11 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	cfg := cuda.DefaultConfig(true)
 	counter := 1
 	perturb(t, reflect.ValueOf(&cfg).Elem(), "Config", &counter)
-	// Mode must be a resolvable name — Key normalizes the config — so pin it
-	// to a distinct non-default value instead of the walker's arbitrary string.
+	// Mode and Platform must be resolvable names — Key normalizes the config
+	// and validates the pair — so pin them to distinct non-default values
+	// instead of the walker's arbitrary strings.
 	cfg.Mode = "tee-io-bridge+pipelined"
+	cfg.Platform = "b300-bridge"
 
 	data, err := json.Marshal(cfg)
 	if err != nil {

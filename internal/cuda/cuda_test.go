@@ -474,10 +474,11 @@ func TestMultiGPUPeerTransfer(t *testing.T) {
 	const n = 256 << 20
 	elapsed := func(cc, nvlink bool) time.Duration {
 		eng := sim.NewEngine()
-		rt := New(eng, DefaultConfig(cc))
-		rt.AddDevice(DefaultConfig(cc).PCIe, DefaultConfig(cc).HBM, DefaultConfig(cc).GPU)
+		cfg := DefaultConfig(cc)
+		rt := New(eng, cfg)
+		rt.AddDevice(cfg.PCIe, cfg.HBM, cfg.GPU)
 		if nvlink {
-			rt.SetNVLink(DefaultNVLink())
+			rt.SetNVLink(cfg.NVLink)
 		}
 		var total time.Duration
 		eng.Spawn("host", func(p *sim.Proc) {

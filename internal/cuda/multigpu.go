@@ -23,19 +23,6 @@ import (
 // metadata-management territory of Na et al. (HPCA'24) that the paper's
 // related-work section points to.
 
-// NVLinkParams describes the inter-GPU link when present.
-type NVLinkParams struct {
-	Enabled bool
-	GBps    float64
-	PerOp   time.Duration
-}
-
-// DefaultNVLink returns an NVLink 4 bridge (900 GB/s bidirectional,
-// ~450 GB/s per direction).
-func DefaultNVLink() NVLinkParams {
-	return NVLinkParams{Enabled: true, GBps: 450, PerOp: 2 * time.Microsecond}
-}
-
 // secondaryDevice is one extra GPU: its own link and memory, sharing the
 // platform (and therefore the crypto worker and bounce pool — both live on
 // the host CPU).
@@ -46,11 +33,13 @@ type secondaryDevice struct {
 
 // AddDevice attaches another GPU to the runtime and returns its device id
 // (device 0 is the primary). Kernels still target device 0; secondary
-// devices participate in allocations and peer transfers.
+// devices participate in allocations and peer transfers. The secondary
+// device's UVM manager reuses the runtime's configured UVM params — same
+// platform, same paging calibration.
 func (rt *Runtime) AddDevice(pcieParams pcie.Params, hbmParams hbm.Params, gpuParams gpu.Params) int {
 	link := pcie.NewLink(rt.eng, pcieParams)
 	mem := hbm.NewAllocator(hbmParams)
-	mgr := uvm.NewManager(rt.eng, rt.pl, link, uvm.DefaultParams())
+	mgr := uvm.NewManager(rt.eng, rt.pl, link, rt.uvmParams)
 	dev := gpu.New(rt.eng, rt.pl, link, mem, mgr, rt.tracer, gpuParams)
 	rt.secondary = append(rt.secondary, secondaryDevice{dev: dev, link: link})
 	return len(rt.secondary) // ids 1..n

@@ -1,145 +1,24 @@
 package cuda
 
 import (
-	"time"
-
 	"hccsim/internal/ccmode"
 	"hccsim/internal/gpu"
 	"hccsim/internal/hbm"
 	"hccsim/internal/pcie"
+	"hccsim/internal/platform"
 	"hccsim/internal/tdx"
 	"hccsim/internal/uvm"
 )
 
-// Params holds the host-side (runtime + driver) latency constants. Together
-// with the substrate parameters these are the calibration knobs behind
-// Figs. 4-12; DefaultParams is tuned so the suite-level ratios land on the
-// paper's observations (KLO x1.42, alloc x5.67, free x10.54, ...).
-type Params struct {
-	// --- kernel launch path (Fig. 8) ---
+// Params holds the host-side (runtime + driver) latency constants. The
+// calibration data lives in the platform profiles (internal/platform);
+// this alias keeps the runtime's working name for the bundle.
+type Params = platform.HostParams
 
-	// LaunchSW is the userspace runtime work per cudaLaunchKernel
-	// (argument marshalling, stream state, pushbuffer build).
-	LaunchSW time.Duration
-	// LaunchPostBase/CC is deferred driver work after the launch API
-	// returns (fence bookkeeping, freed-buffer reaping). It lands in the
-	// inter-launch gap, i.e. it is LQT, not KLO.
-	LaunchPostBase time.Duration
-	LaunchPostCC   time.Duration
-	// DoorbellWrite is the USERD doorbell store. The doorbell page is a
-	// write-combined mapping the TD shares with the device, so it does NOT
-	// trap — otherwise every launch would pay a full hypercall and KLO
-	// would inflate far beyond the observed 1.42x.
-	DoorbellWrite time.Duration
-	// FenceInterval is how many launches pass between driver fence reads
-	// that do go through MMIO (and therefore hypercall under CC).
-	FenceInterval int
-	// RingSlots is the per-stream in-flight launch window; a full ring
-	// stalls the next launch (the stall surfaces as LQT).
-	RingSlots int
-	// CmdPacketBytes is the pushbuffer packet size encrypted per launch in
-	// CC mode; LaunchEncSW is the per-launch cost of that encryption with a
-	// warm cipher context (key schedule and IV chain reused across packets).
-	CmdPacketBytes int64
-	LaunchEncSW    time.Duration
-	// ModuleBaseBytes is the default SASS module uploaded on a kernel's
-	// first launch (KernelSpec.CodeBytes overrides).
-	ModuleBaseBytes int64
-	// ModuleMMIOs is the register traffic of a module load; ModuleSW is the
-	// driver-side software cost (SASS patching, relocation) paid either way.
-	ModuleMMIOs int
-	ModuleSW    time.Duration
-	// ContextInitSW and ContextInitMMIOs model first-launch context/channel
-	// creation (the very expensive first launch in Fig. 12a).
-	ContextInitSW    time.Duration
-	ContextInitMMIOs int
-
-	// --- copies ---
-
-	// CopySW is the blocking memcpy API overhead; AsyncCopySW the cheaper
-	// submission-only path.
-	CopySW      time.Duration
-	AsyncCopySW time.Duration
-
-	// --- memory management (Fig. 6) ---
-
-	MallocSW            time.Duration
-	MallocMMIOs         int
-	MallocPerMB         time.Duration // PTE/heap work per MiB, non-CC
-	MallocPerMBCC       time.Duration // encrypted PTE updates + SEPT share
-	HostAllocSW         time.Duration
-	HostAllocMMIOs      int
-	HostAllocPerMB      time.Duration // page pinning + IOMMU map
-	HostAllocPerMBCC    time.Duration // UVM-backed shared registration
-	FreeSW              time.Duration
-	FreeMMIOs           int
-	FreePerMB           time.Duration // unmap + TLB
-	FreePerMBCC         time.Duration // scrub + SEPT removal + shootdowns
-	ManagedAllocSW      time.Duration // cudaMallocManaged is lazy: cheap
-	ManagedAllocMMIOs   int
-	ManagedAllocPerMB   time.Duration
-	ManagedAllocPerMBCC time.Duration
-	// ManagedFreePerResMB applies per MiB that was device-resident at free
-	// time (unmapping migrated pages is what makes UVM free expensive).
-	ManagedFreePerResMB   time.Duration
-	ManagedFreePerResMBCC time.Duration
-
-	// --- misc ---
-
-	SyncSW         time.Duration
-	StreamCreateSW time.Duration
-	// GraphCreatePerNode is capture/instantiation cost per node; graph
-	// launch then submits the whole batch as one packet (Sec. VII-A).
-	GraphCreateSW      time.Duration
-	GraphCreatePerNode time.Duration
-}
-
-// DefaultParams returns host-side constants calibrated to the paper's
-// testbed.
-func DefaultParams() Params {
-	return Params{
-		LaunchSW:         8000 * time.Nanosecond,
-		LaunchPostBase:   600 * time.Nanosecond,
-		LaunchPostCC:     1050 * time.Nanosecond,
-		DoorbellWrite:    120 * time.Nanosecond,
-		FenceInterval:    48,
-		RingSlots:        64,
-		CmdPacketBytes:   256,
-		LaunchEncSW:      450 * time.Nanosecond,
-		ModuleBaseBytes:  256 << 10,
-		ModuleMMIOs:      2,
-		ModuleSW:         40 * time.Microsecond,
-		ContextInitSW:    180 * time.Microsecond,
-		ContextInitMMIOs: 8,
-
-		CopySW:      3500 * time.Nanosecond,
-		AsyncCopySW: 1700 * time.Nanosecond,
-
-		MallocSW:              38 * time.Microsecond,
-		MallocMMIOs:           12,
-		MallocPerMB:           250 * time.Nanosecond,
-		MallocPerMBCC:         720 * time.Nanosecond,
-		HostAllocSW:           25 * time.Microsecond,
-		HostAllocMMIOs:        10,
-		HostAllocPerMB:        12 * time.Microsecond,
-		HostAllocPerMBCC:      70 * time.Microsecond,
-		FreeSW:                20 * time.Microsecond,
-		FreeMMIOs:             6,
-		FreePerMB:             400 * time.Nanosecond,
-		FreePerMBCC:           3800 * time.Nanosecond,
-		ManagedAllocSW:        16 * time.Microsecond,
-		ManagedAllocMMIOs:     2,
-		ManagedAllocPerMB:     60 * time.Nanosecond,
-		ManagedAllocPerMBCC:   500 * time.Nanosecond,
-		ManagedFreePerResMB:   2600 * time.Nanosecond,
-		ManagedFreePerResMBCC: 30 * time.Microsecond,
-
-		SyncSW:             1400 * time.Nanosecond,
-		StreamCreateSW:     9 * time.Microsecond,
-		GraphCreateSW:      30 * time.Microsecond,
-		GraphCreatePerNode: 2 * time.Microsecond,
-	}
-}
+// NVLinkParams describes the inter-GPU link when present. Link topology is
+// platform data: profiles carry it and Config.NVLink delivers it; install
+// it with Runtime.SetNVLink.
+type NVLinkParams = platform.NVLinkParams
 
 // Config assembles every layer's parameters for one simulated system.
 type Config struct {
@@ -154,38 +33,81 @@ type Config struct {
 	// "off", "tdx-h100", "tee-io-direct", "tee-io-bridge", each optionally
 	// "+pipelined"). Empty falls back to the deprecated CC flag.
 	Mode string
-	TDX  tdx.Params
-	PCIe pcie.Params
-	HBM  hbm.Params
-	UVM  uvm.Params
-	GPU  gpu.Params
-	Host Params
+	// Platform names the hardware profile the per-layer params were seeded
+	// from (see platform.Names and platform.ByName). It is resolved and
+	// normalized like Mode — empty means the default h100-tdx testbed — and
+	// Normalize validates that the resolved Mode is valid on the platform.
+	// Setting Platform does not re-seed the params; use PlatformConfig.
+	Platform string `json:",omitempty"`
+	TDX      tdx.Params
+	PCIe     pcie.Params
+	HBM      hbm.Params
+	UVM      uvm.Params
+	GPU      gpu.Params
+	Host     Params
+	// NVLink is the inter-GPU bridge of the platform, when present.
+	NVLink NVLinkParams
+}
+
+// fromProfile copies a profile's calibration into a Config with no mode
+// selected.
+func fromProfile(p platform.Profile) Config {
+	return Config{
+		Platform: p.Name(),
+		TDX:      p.TDX,
+		PCIe:     p.PCIe,
+		HBM:      p.HBM,
+		UVM:      p.UVM,
+		GPU:      p.GPU,
+		Host:     p.Host,
+		NVLink:   p.NVLink,
+	}
 }
 
 // baseConfig returns the paper's Table I system with no mode selected.
 func baseConfig() Config {
-	return Config{
-		TDX:  tdx.DefaultParams(),
-		PCIe: pcie.DefaultParams(),
-		HBM:  hbm.DefaultParams(),
-		UVM:  uvm.DefaultParams(),
-		GPU:  gpu.DefaultParams(),
-		Host: DefaultParams(),
-	}
+	return fromProfile(platform.MustByName(platform.Default))
 }
 
-// NewConfig returns the paper's Table I system under the named protection
-// mode — the mode-aware constructor. The name is resolved through
-// ccmode.ByName and stored canonically.
-func NewConfig(mode string) (Config, error) {
+// PlatformBase returns the named platform's system with no protection mode
+// selected (CC off). The platform name is resolved through platform.ByName
+// and stored canonically.
+func PlatformBase(platformName string) (Config, error) {
+	p, err := platform.ByName(platformName)
+	if err != nil {
+		return Config{}, err
+	}
+	return fromProfile(p), nil
+}
+
+// PlatformConfig returns the named platform under the named protection
+// mode — the cross-platform constructor. Both names are resolved eagerly
+// (platform.ByName, ccmode.ByName) and the mode is validated against the
+// platform's mode set, so an illegal pair fails here with the legal values
+// in the error, never mid-run.
+func PlatformConfig(platformName, mode string) (Config, error) {
+	p, err := platform.ByName(platformName)
+	if err != nil {
+		return Config{}, err
+	}
 	m, err := ccmode.ByName(mode)
 	if err != nil {
 		return Config{}, err
 	}
-	cfg := baseConfig()
+	if err := p.ValidateMode(m); err != nil {
+		return Config{}, err
+	}
+	cfg := fromProfile(p)
 	cfg.Mode = m.Name()
 	cfg.CC = m.CC()
 	return cfg, nil
+}
+
+// NewConfig returns the paper's Table I system under the named protection
+// mode — the mode-aware constructor, an alias for PlatformConfig on the
+// default h100-tdx platform.
+func NewConfig(mode string) (Config, error) {
+	return PlatformConfig(platform.Default, mode)
 }
 
 // DefaultConfig returns the paper's Table I system with CC on or off — a
@@ -206,15 +128,32 @@ func (c Config) ResolveMode() (ccmode.Mode, error) {
 	return ccmode.Legacy(c.CC, c.TDX.TEEIO), nil
 }
 
-// Normalize resolves the protection mode and writes it back canonically
-// (Mode set to the canonical name, CC to the mode's CC bit), so that
-// configurations meaning the same system hash and label identically.
+// ResolvePlatform resolves the configuration's platform profile; the empty
+// name resolves to the default h100-tdx testbed.
+func (c Config) ResolvePlatform() (platform.Profile, error) {
+	return platform.ByName(c.Platform)
+}
+
+// Normalize resolves the protection mode and platform and writes both back
+// canonically (Mode set to the canonical name, CC to the mode's CC bit,
+// Platform to the canonical profile name), validating the mode against the
+// platform's mode set — so that configurations meaning the same system
+// hash and label identically, and an illegal mode×platform pair fails at
+// resolve time with the legal values in the error.
 func (c Config) Normalize() (Config, error) {
 	m, err := c.ResolveMode()
 	if err != nil {
 		return Config{}, err
 	}
+	p, err := c.ResolvePlatform()
+	if err != nil {
+		return Config{}, err
+	}
+	if err := p.ValidateMode(m); err != nil {
+		return Config{}, err
+	}
 	c.Mode = m.Name()
 	c.CC = m.CC()
+	c.Platform = p.Name()
 	return c, nil
 }

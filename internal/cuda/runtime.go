@@ -21,13 +21,14 @@ import (
 
 // Runtime is one simulated guest (VM or TD) with one GPU attached.
 type Runtime struct {
-	eng    *sim.Engine
-	pl     *tdx.Platform
-	link   *pcie.Link
-	dev    *gpu.Device
-	mode   ccmode.Mode
-	tracer *trace.Tracer
-	params Params
+	eng       *sim.Engine
+	pl        *tdx.Platform
+	link      *pcie.Link
+	dev       *gpu.Device
+	mode      ccmode.Mode
+	tracer    *trace.Tracer
+	params    Params
+	uvmParams uvm.Params
 
 	moduleSeen map[string]bool
 	launches   int
@@ -41,12 +42,21 @@ type Runtime struct {
 
 // New builds a full system (platform, link, HBM, UVM, device) from cfg.
 // The protection mode is resolved here — Config.Mode by name, or the
-// deprecated CC flag through the legacy shim — and threaded into every
-// layer. It panics on an unknown Config.Mode name, the same fatal-config
-// contract as the substrate constructors below it.
+// deprecated CC flag through the legacy shim — validated against the
+// hardware platform's mode set, and threaded into every layer. It panics
+// on an unknown Config.Mode or Config.Platform name or an illegal
+// mode×platform pair, the same fatal-config contract as the substrate
+// constructors below it.
 func New(eng *sim.Engine, cfg Config) *Runtime {
 	mode, err := cfg.ResolveMode()
 	if err != nil {
+		panic("cuda: " + err.Error())
+	}
+	prof, err := cfg.ResolvePlatform()
+	if err != nil {
+		panic("cuda: " + err.Error())
+	}
+	if err := prof.ValidateMode(mode); err != nil {
 		panic("cuda: " + err.Error())
 	}
 	pl := tdx.NewPlatform(eng, mode, cfg.TDX)
@@ -59,6 +69,7 @@ func New(eng *sim.Engine, cfg Config) *Runtime {
 	return &Runtime{
 		eng: eng, pl: pl, link: link, dev: dev, mode: mode, tracer: tracer,
 		params:     cfg.Host,
+		uvmParams:  cfg.UVM,
 		moduleSeen: make(map[string]bool),
 	}
 }

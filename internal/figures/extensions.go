@@ -8,8 +8,8 @@ import (
 	"hccsim/internal/gpu"
 	"hccsim/internal/nn"
 	"hccsim/internal/pcie"
+	"hccsim/internal/platform"
 	"hccsim/internal/sim"
-	"hccsim/internal/tdx"
 	"hccsim/internal/units"
 	"hccsim/internal/workloads"
 )
@@ -21,17 +21,26 @@ import (
 // the CC-mode cudaGraph batching question Sec. VII-A explicitly leaves as
 // future work.
 
-// teeioConfig returns a CC config with the TDX Connect projection enabled.
+// teeioConfig returns a CC config with the TDX Connect projection enabled,
+// panicking on lookup failure — the mode name is a static literal, so a
+// failure is a programming error, not an input error.
 func teeioConfig() cuda.Config {
-	cfg := cuda.DefaultConfig(true)
-	cfg.TDX = tdx.TEEIOParams()
+	cfg, err := cuda.NewConfig("tee-io-direct")
+	if err != nil {
+		panic(err)
+	}
 	return cfg
 }
 
-// snpConfig returns a CC config on the SEV-SNP cost model.
+// snpConfig returns a CC config on the SEV-SNP cost model (the h100-snp
+// platform profile: same GPU and link, GHCB-based CPU TEE), panicking on
+// lookup failure — the platform and mode names are static literals, so a
+// failure is a programming error, not an input error.
 func snpConfig() cuda.Config {
-	cfg := cuda.DefaultConfig(true)
-	cfg.TDX = tdx.SNPParams()
+	cfg, err := cuda.PlatformConfig("h100-snp", "tdx-h100")
+	if err != nil {
+		panic(err)
+	}
 	return cfg
 }
 
@@ -254,8 +263,8 @@ func ExtPrimitives() Table {
 		Title:   "CPU-TEE primitive costs",
 		Columns: []string{"primitive", "legacy-vm", "tdx", "sev-snp"},
 	}
-	td := tdx.DefaultParams()
-	snp := tdx.SNPParams()
+	td := platform.MustByName(platform.Default).TDX
+	snp := platform.MustByName("h100-snp").TDX
 	t.AddRow("guest exit round trip", td.VMExit, td.Hypercall, snp.Hypercall)
 	t.AddRow("MMIO to passthrough GPU", td.MMIODirect, td.Hypercall, snp.Hypercall)
 	t.AddRow("private-page accept (per 4K page)", "-", td.SEPTPerPage, snp.SEPTPerPage)
@@ -286,7 +295,7 @@ func ExtMultiGPU() Table {
 		rt := cuda.New(eng, cfg)
 		rt.AddDevice(cfg.PCIe, cfg.HBM, cfg.GPU)
 		if nvlink {
-			rt.SetNVLink(cuda.DefaultNVLink())
+			rt.SetNVLink(cfg.NVLink)
 		}
 		var total time.Duration
 		eng.Spawn("p2p", func(p *sim.Proc) {
@@ -376,7 +385,7 @@ func ExtStartup() Table {
 		Title:   "One-time confidential-computing startup costs",
 		Columns: []string{"component", "cost", "notes"},
 	}
-	td := tdx.DefaultParams()
+	td := platform.MustByName(platform.Default).TDX
 
 	// TD boot: eager acceptance touches every private page with SEPT
 	// AUG+ACCEPT; lazy acceptance defers to first touch (Linux default).
@@ -391,7 +400,7 @@ func ExtStartup() Table {
 
 	// SPDM attestation of the GPU when it binds to the TD.
 	eng := sim.NewEngine()
-	link := pcie.NewLink(eng, pcie.DefaultParams())
+	link := pcie.NewLink(eng, platform.MustByName(platform.Default).PCIe)
 	var spdm time.Duration
 	eng.Spawn("spdm", func(p *sim.Proc) {
 		start := p.Now()

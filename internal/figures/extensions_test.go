@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"hccsim/internal/cuda"
+	"hccsim/internal/platform"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
-	"hccsim/internal/uvm"
 )
 
 func TestExtTEEIORecoversBandwidth(t *testing.T) {
@@ -133,13 +133,15 @@ func TestExtensionRegistryEntries(t *testing.T) {
 // Substrate-level checks for the new platform features.
 
 func TestTEEIOPlatformSemantics(t *testing.T) {
+	teeioParams := platform.MustByName(platform.Default).TDX
+	teeioParams.TEEIO = true
 	eng := sim.NewEngine()
-	pl := tdx.NewLegacyPlatform(eng, true, tdx.TEEIOParams())
+	pl := tdx.NewLegacyPlatform(eng, true, teeioParams)
 	if pl.SoftwareCryptoPath() {
 		t.Fatal("TEE-IO platform should not use the software crypto path")
 	}
-	if pl.MMIOCost() != tdx.TEEIOParams().MMIODirect {
-		t.Fatalf("TEE-IO MMIO cost %v, want direct %v", pl.MMIOCost(), tdx.TEEIOParams().MMIODirect)
+	if pl.MMIOCost() != teeioParams.MMIODirect {
+		t.Fatalf("TEE-IO MMIO cost %v, want direct %v", pl.MMIOCost(), teeioParams.MMIODirect)
 	}
 	// Bounce pool is bypassed entirely.
 	eng.Spawn("x", func(p *sim.Proc) {
@@ -154,7 +156,7 @@ func TestTEEIOPlatformSemantics(t *testing.T) {
 func TestCryptoWorkersParallelize(t *testing.T) {
 	elapsed := func(workers int) sim.Time {
 		eng := sim.NewEngine()
-		params := tdx.DefaultParams()
+		params := platform.MustByName(platform.Default).TDX
 		params.CryptoWorkers = workers
 		pl := tdx.NewLegacyPlatform(eng, true, params)
 		for i := 0; i < 4; i++ {
@@ -204,8 +206,8 @@ func TestSNPUVMCheaperHypercalls(t *testing.T) {
 	}
 	// SNP's cheaper exits make the hypercall-heavy encrypted-paging path a
 	// bit faster than TDX, all else equal.
-	tdxT := run(tdx.DefaultParams())
-	snpT := run(tdx.SNPParams())
+	tdxT := run(platform.MustByName(platform.Default).TDX)
+	snpT := run(platform.MustByName("h100-snp").TDX)
 	if snpT >= tdxT {
 		t.Fatalf("SNP paging (%v) not cheaper than TDX (%v)", snpT, tdxT)
 	}
@@ -229,7 +231,7 @@ func TestExtMultiGPUStory(t *testing.T) {
 }
 
 func TestUVMDefaultsUnchanged(t *testing.T) {
-	p := uvm.DefaultParams()
+	p := platform.MustByName(platform.Default).UVM
 	if p.BatchPagesCC != 1 || p.CCFaultHypercalls != 4 {
 		t.Fatalf("UVM CC calibration drifted: %+v", p)
 	}

@@ -14,7 +14,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenIDs are cheap, fully deterministic figures used as regression
 // anchors for the whole stack (substrate params + workloads + analyzers).
-var goldenIDs = []string{"fig8", "fig12a", "ext-primitives", "ext-modes", "ext-serving"}
+var goldenIDs = []string{"fig8", "fig12a", "ext-primitives", "ext-modes", "ext-serving", "ext-platforms"}
 
 func TestGoldenFigures(t *testing.T) {
 	for _, id := range goldenIDs {

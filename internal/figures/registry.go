@@ -56,6 +56,7 @@ var registry = map[string]struct {
 	"ext-llmprefill":    {ExtLLMPrefill, "LLM time-to-first-token: warm vs cold start under CC"},
 	"ext-startup":       {ExtStartup, "one-time deployment costs: TD boot, SPDM, context init"},
 	"ext-serving":       {ExtServing, "request-level serving under load: latency/SLO/KV-swap per mode"},
+	"ext-platforms":     {ExtPlatforms, "cross-platform: off vs native protection mode per hardware profile"},
 }
 
 // displayOrder lists the paper's figures first, then the summary, then the
@@ -65,7 +66,7 @@ var displayOrder = []string{
 	"fig11", "fig12a", "fig12b", "fig12c", "fig13", "fig14", "observations",
 	"ext-teeio", "ext-modes", "ext-cryptoworkers", "ext-graphbatch", "ext-prefetch",
 	"ext-primitives", "ext-multigpu", "ext-cnnbatch", "ext-llmprefill", "ext-startup",
-	"ext-serving",
+	"ext-serving", "ext-platforms",
 }
 
 // IDs returns all figure ids in display order (any id missing from the

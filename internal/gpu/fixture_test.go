@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"time"
+
+	"hccsim/internal/hbm"
+	"hccsim/internal/pcie"
+	"hccsim/internal/swcrypto"
+	"hccsim/internal/tdx"
+	"hccsim/internal/uvm"
+)
+
+// Test fixture calibration. The production calibration lives in
+// internal/platform, which imports this package — so these in-package
+// tests carry their own copy of the Table I values for every layer a
+// device rig needs.
+func defaultParams() Params {
+	return Params{
+		SMs:                  132,
+		ThreadsPerSM:         2048,
+		PeakFP32TFLOPs:       60,
+		TensorTFLOPs:         780,
+		DispatchBase:         1900 * time.Nanosecond,
+		CmdAuthCC:            3600 * time.Nanosecond,
+		KernelFixedOverhead:  1900 * time.Nanosecond,
+		BlitGBps:             1300,
+		MaxConcurrentKernels: 64,
+		ChunkBytes:           4 << 20,
+	}
+}
+
+func tdxParams() tdx.Params {
+	return tdx.Params{
+		VMExit:         2400 * time.Nanosecond,
+		Hypercall:      13700 * time.Nanosecond,
+		MMIODirect:     380 * time.Nanosecond,
+		SEPTPerPage:    1900 * time.Nanosecond,
+		ConvertPerPage: 2600 * time.Nanosecond,
+		ScrubPerPage:   950 * time.Nanosecond,
+		DMAMapBase:     1200 * time.Nanosecond,
+		HostMemcpyGBps: 11.5,
+		BounceBufBytes: 256 << 20,
+		CryptoCPU:      swcrypto.IntelEMR,
+		CryptoAlg:      swcrypto.AES128GCM,
+		CryptoWorkers:  1,
+		IDEPerTLP:      250 * time.Nanosecond,
+		BridgeGBps:     26.0,
+	}
+}
+
+func pcieParams() pcie.Params {
+	return pcie.Params{
+		EffectiveGBps:      52.0,
+		TransactionLatency: 1800 * time.Nanosecond,
+		SPDMSession:        180 * time.Millisecond,
+	}
+}
+
+func hbmParams() hbm.Params {
+	return hbm.Params{CapacityBytes: 94 << 30, BandwidthGBps: 3900, AlignBytes: 64 << 10}
+}
+
+func uvmParams() uvm.Params {
+	return uvm.Params{
+		PageBytes:         64 << 10,
+		FaultService:      20 * time.Microsecond,
+		BatchPages:        48,
+		BatchPagesCC:      1,
+		CCFaultHypercalls: 4,
+		RandomPenalty:     4,
+	}
+}

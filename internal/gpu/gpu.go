@@ -48,22 +48,6 @@ type Params struct {
 	ChunkBytes int64
 }
 
-// DefaultParams returns the H100 NVL configuration.
-func DefaultParams() Params {
-	return Params{
-		SMs:                  132,
-		ThreadsPerSM:         2048,
-		PeakFP32TFLOPs:       60,
-		TensorTFLOPs:         780,
-		DispatchBase:         1900 * time.Nanosecond,
-		CmdAuthCC:            3600 * time.Nanosecond,
-		KernelFixedOverhead:  1900 * time.Nanosecond,
-		BlitGBps:             1300,
-		MaxConcurrentKernels: 64,
-		ChunkBytes:           4 << 20,
-	}
-}
-
 // ManagedAccess declares that a kernel touches a UVM range.
 type ManagedAccess struct {
 	Range  *uvm.Range

@@ -23,12 +23,12 @@ type rig struct {
 
 func newRig(cc bool) *rig {
 	eng := sim.NewEngine()
-	pl := tdx.NewLegacyPlatform(eng, cc, tdx.DefaultParams())
-	link := pcie.NewLink(eng, pcie.DefaultParams())
-	mem := hbm.NewAllocator(hbm.DefaultParams())
-	mgr := uvm.NewManager(eng, pl, link, uvm.DefaultParams())
+	pl := tdx.NewLegacyPlatform(eng, cc, tdxParams())
+	link := pcie.NewLink(eng, pcieParams())
+	mem := hbm.NewAllocator(hbmParams())
+	mgr := uvm.NewManager(eng, pl, link, uvmParams())
 	tr := trace.New()
-	dev := New(eng, pl, link, mem, mgr, tr, DefaultParams())
+	dev := New(eng, pl, link, mem, mgr, tr, defaultParams())
 	return &rig{eng: eng, pl: pl, link: link, dev: dev, tracer: tr}
 }
 

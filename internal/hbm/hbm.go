@@ -21,11 +21,6 @@ type Params struct {
 	AlignBytes int64
 }
 
-// DefaultParams returns the H100 NVL 94 GB configuration.
-func DefaultParams() Params {
-	return Params{CapacityBytes: 94 << 30, BandwidthGBps: 3900, AlignBytes: 64 << 10}
-}
-
 type block struct {
 	off, size int64
 }

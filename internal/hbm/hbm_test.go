@@ -199,16 +199,6 @@ func TestPropertyNoOverlap(t *testing.T) {
 	}
 }
 
-func TestDefaultParamsSane(t *testing.T) {
-	p := DefaultParams()
-	if p.CapacityBytes != 94<<30 {
-		t.Fatalf("H100 NVL capacity = %d, want 94 GiB", p.CapacityBytes)
-	}
-	if p.BandwidthGBps < 3000 {
-		t.Fatalf("HBM3 bandwidth %.0f too low", p.BandwidthGBps)
-	}
-}
-
 func TestNewAllocatorPanicsOnBadParams(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,14 @@
+package pcie
+
+import "time"
+
+// Test fixture calibration (PCIe 5.0 x16). The production calibration
+// lives in internal/platform, which imports this package — so these
+// in-package tests carry their own copy of the Table I link constants.
+func defaultParams() Params {
+	return Params{
+		EffectiveGBps:      52.0,
+		TransactionLatency: 1800 * time.Nanosecond,
+		SPDMSession:        180 * time.Millisecond,
+	}
+}

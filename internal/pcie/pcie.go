@@ -40,16 +40,6 @@ type Params struct {
 	SPDMSession time.Duration
 }
 
-// DefaultParams returns constants calibrated to the paper's testbed
-// (H100 NVL, PCIe 5.0 x16).
-func DefaultParams() Params {
-	return Params{
-		EffectiveGBps:      52.0,
-		TransactionLatency: 1800 * time.Nanosecond,
-		SPDMSession:        180 * time.Millisecond,
-	}
-}
-
 // Link is the full-duplex PCIe connection. Each direction is an independent
 // serial resource: concurrent DMAs in the same direction queue FIFO, while
 // opposite directions proceed in parallel.

@@ -9,7 +9,7 @@ import (
 )
 
 func TestTransferTimeMonotonic(t *testing.T) {
-	l := NewLink(sim.NewEngine(), DefaultParams())
+	l := NewLink(sim.NewEngine(), defaultParams())
 	prev := time.Duration(0)
 	for _, n := range []int64{0, 64, 4096, 1 << 20, 1 << 30} {
 		d := l.TransferTime(n)
@@ -21,19 +21,19 @@ func TestTransferTimeMonotonic(t *testing.T) {
 }
 
 func TestLargeTransferApproachesLinkRate(t *testing.T) {
-	l := NewLink(sim.NewEngine(), DefaultParams())
+	l := NewLink(sim.NewEngine(), defaultParams())
 	n := int64(1 << 30)
 	d := l.TransferTime(n)
 	gbps := float64(n) / d.Seconds() / 1e9
-	if gbps < 0.98*DefaultParams().EffectiveGBps || gbps > DefaultParams().EffectiveGBps {
-		t.Fatalf("1GiB effective rate %.2f GB/s, want just under %.2f", gbps, DefaultParams().EffectiveGBps)
+	if gbps < 0.98*defaultParams().EffectiveGBps || gbps > defaultParams().EffectiveGBps {
+		t.Fatalf("1GiB effective rate %.2f GB/s, want just under %.2f", gbps, defaultParams().EffectiveGBps)
 	}
 }
 
 func TestSmallTransferLatencyBound(t *testing.T) {
-	l := NewLink(sim.NewEngine(), DefaultParams())
+	l := NewLink(sim.NewEngine(), defaultParams())
 	d := l.TransferTime(64)
-	if d < DefaultParams().TransactionLatency {
+	if d < defaultParams().TransactionLatency {
 		t.Fatalf("64B transfer %v under transaction latency", d)
 	}
 	gbps := 64.0 / d.Seconds() / 1e9
@@ -44,7 +44,7 @@ func TestSmallTransferLatencyBound(t *testing.T) {
 
 func TestSameDirectionSerializesOppositeOverlaps(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, DefaultParams())
+	l := NewLink(eng, defaultParams())
 	n := int64(100 << 20)
 	single := l.TransferTime(n)
 
@@ -59,7 +59,7 @@ func TestSameDirectionSerializesOppositeOverlaps(t *testing.T) {
 
 	// H2D + D2H: full duplex, finish together.
 	eng2 := sim.NewEngine()
-	l2 := NewLink(eng2, DefaultParams())
+	l2 := NewLink(eng2, defaultParams())
 	var aEnd, bEnd sim.Time
 	eng2.Spawn("a", func(p *sim.Proc) { l2.Transfer(p, H2D, n); aEnd = p.Now() })
 	eng2.Spawn("b", func(p *sim.Proc) { l2.Transfer(p, D2H, n); bEnd = p.Now() })
@@ -71,7 +71,7 @@ func TestSameDirectionSerializesOppositeOverlaps(t *testing.T) {
 
 func TestAccounting(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, DefaultParams())
+	l := NewLink(eng, defaultParams())
 	eng.Spawn("a", func(p *sim.Proc) {
 		l.Transfer(p, H2D, 1000)
 		l.Transfer(p, H2D, 2000)
@@ -95,7 +95,7 @@ func TestPropertySerialLinkAdditive(t *testing.T) {
 		n := int(count%8) + 1
 		size := int64(kb)*1024 + 1
 		eng := sim.NewEngine()
-		l := NewLink(eng, DefaultParams())
+		l := NewLink(eng, defaultParams())
 		for i := 0; i < n; i++ {
 			eng.Spawn("x", func(p *sim.Proc) { l.Transfer(p, H2D, size) })
 		}
@@ -114,8 +114,8 @@ func TestPropertySerialLinkAdditive(t *testing.T) {
 
 func TestAccessorsAndSPDM(t *testing.T) {
 	eng := sim.NewEngine()
-	l := NewLink(eng, DefaultParams())
-	if l.Params().EffectiveGBps != DefaultParams().EffectiveGBps {
+	l := NewLink(eng, defaultParams())
+	if l.Params().EffectiveGBps != defaultParams().EffectiveGBps {
 		t.Fatal("Params accessor broken")
 	}
 	if H2D.String() != "H2D" || D2H.String() != "D2H" {
@@ -123,11 +123,11 @@ func TestAccessorsAndSPDM(t *testing.T) {
 	}
 	eng.Spawn("attest", func(p *sim.Proc) { l.EstablishSPDM(p) })
 	end := eng.Run()
-	if time.Duration(end) != DefaultParams().SPDMSession {
-		t.Fatalf("SPDM handshake = %v, want %v", time.Duration(end), DefaultParams().SPDMSession)
+	if time.Duration(end) != defaultParams().SPDMSession {
+		t.Fatalf("SPDM handshake = %v, want %v", time.Duration(end), defaultParams().SPDMSession)
 	}
 	// Negative sizes clamp to the per-transaction latency.
-	if l.TransferTime(-5) != DefaultParams().TransactionLatency {
+	if l.TransferTime(-5) != defaultParams().TransactionLatency {
 		t.Fatal("negative-size transfer not clamped")
 	}
 }

@@ -86,11 +86,12 @@ var calibMemo = struct {
 	m map[string]*calibEntry
 }{m: make(map[string]*calibEntry)}
 
-// calibrated returns the memoized cost model for the triple, calibrating
-// on first use. Calibration keys on the full marshaled system config, so
-// parameter sweeps that perturb substrate constants re-calibrate. Panics
-// if the config fails to marshal — a programming error, same contract as
-// batch.Job.Key.
+// calibrated returns the memoized cost model for the (platform, backend,
+// quant) triple, calibrating on first use. The platform name leads the key
+// so cross-platform sweeps calibrate one cost surface per platform; the
+// key also folds in the full marshaled system config, so parameter sweeps
+// that perturb substrate constants re-calibrate. Panics if the config
+// fails to marshal — a programming error, same contract as batch.Job.Key.
 func calibrated(sys cuda.Config, backend nn.Backend, quant nn.Quant, maxBatch int) *costModel {
 	raw, err := json.Marshal(sys)
 	if err != nil {
@@ -99,7 +100,7 @@ func calibrated(sys cuda.Config, backend nn.Backend, quant nn.Quant, maxBatch in
 		panic("serve: marshal system config: " + err.Error())
 	}
 	sum := sha256.Sum256(raw)
-	key := fmt.Sprintf("%s|%s|%d|%s", backend, quant, maxBatch, hex.EncodeToString(sum[:8]))
+	key := fmt.Sprintf("%s|%s|%s|%d|%s", sys.Platform, backend, quant, maxBatch, hex.EncodeToString(sum[:8]))
 
 	calibMemo.Lock()
 	e, ok := calibMemo.m[key]

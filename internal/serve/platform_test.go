@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplicitDefaultPlatformByteIdentical: naming the default platform
+// must change nothing — same report, byte for byte — so pre-platform
+// capacity numbers survive the refactor.
+func TestExplicitDefaultPlatformByteIdentical(t *testing.T) {
+	implicit, err := Run(fastConfig("tdx-h100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig("tdx-h100")
+	cfg.Platform = "h100-tdx"
+	explicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.String() != explicit.String() {
+		t.Fatalf("explicit h100-tdx diverged from the default:\n--- implicit\n%s--- explicit\n%s",
+			implicit.String(), explicit.String())
+	}
+	if implicit.Platform != "h100-tdx" || explicit.Platform != "h100-tdx" {
+		t.Errorf("reports carry platforms %q and %q, want canonical h100-tdx",
+			implicit.Platform, explicit.Platform)
+	}
+}
+
+// TestPlatformChangesServingBehaviour: the b300-bridge profile is a
+// different machine — bigger GPU, serialized bridge — so the same traffic
+// must not produce the h100 report.
+func TestPlatformChangesServingBehaviour(t *testing.T) {
+	h100, err := Run(fastConfig("off"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig("off")
+	cfg.Platform = "b300-bridge"
+	b300, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b300.Platform != "b300-bridge" {
+		t.Errorf("report platform = %q", b300.Platform)
+	}
+	if h100.String() == b300.String() {
+		t.Error("b300-bridge produced a byte-identical report to h100-tdx")
+	}
+}
+
+// TestPlatformValidation: unknown platforms and illegal mode×platform pairs
+// fail before any simulation, with the legal values in the error.
+func TestPlatformValidation(t *testing.T) {
+	cfg := fastConfig("off")
+	cfg.Platform = "nonesuch"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown platform accepted")
+	}
+
+	cfg = fastConfig("tdx-h100")
+	cfg.Platform = "b300-bridge"
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("tdx-h100 on b300-bridge accepted")
+	}
+	if !strings.Contains(err.Error(), "tee-io-bridge") {
+		t.Errorf("error %q does not list the platform's legal modes", err)
+	}
+}

@@ -122,6 +122,7 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 	lastDoneAt, tokensOut, batchSum := l.lastDoneAt, l.tokensOut, l.batchSum
 
 	rep.Mode = cfg.Mode
+	rep.Platform = cfg.Platform
 	rep.Backend = cfg.Backend
 	rep.Quant = cfg.Quant
 	rep.RateQPS = cfg.RateQPS

@@ -60,8 +60,12 @@ type Config struct {
 	// Mode names the protection mode (hccsim.Modes); default "off".
 	// Ignored when System is set.
 	Mode string
+	// Platform names the hardware profile (platform.Names); default the
+	// h100-tdx testbed. Ignored when System is set (an explicit config
+	// already carries its platform).
+	Platform string
 	// System optionally overrides the full substrate configuration
-	// (parameter sweeps); its resolved mode is authoritative.
+	// (parameter sweeps); its resolved mode and platform are authoritative.
 	System *cuda.Config
 
 	// Seed seeds the injected RNG for arrivals and lengths; default 1.
@@ -152,12 +156,13 @@ func (cfg Config) withDefaults() (Config, nn.Backend, nn.Quant, cuda.Config, err
 		if cfg.Mode == "" {
 			cfg.Mode = "off"
 		}
-		sys, err = cuda.NewConfig(cfg.Mode)
+		sys, err = cuda.PlatformConfig(cfg.Platform, cfg.Mode)
 	}
 	if err != nil {
 		return cfg, 0, 0, cuda.Config{}, err
 	}
 	cfg.Mode = sys.Mode
+	cfg.Platform = sys.Platform
 
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -235,11 +240,13 @@ func summarize(h *Histogram) LatencySummary {
 // Report is the outcome of one serving run. All durations are simulated
 // time; the run consumes no wall clock beyond host CPU.
 type Report struct {
-	Mode    string
-	Backend string
-	Quant   string
-	RateQPS float64
-	Seed    uint64
+	Mode string
+	// Platform is the canonical hardware-profile name the run used.
+	Platform string
+	Backend  string
+	Quant    string
+	RateQPS  float64
+	Seed     uint64
 
 	// Accounting: Offered = Completed + Rejected once the run drains.
 	Offered   int

@@ -87,50 +87,6 @@ type Params struct {
 	BridgeGBps float64
 }
 
-// DefaultParams returns constants calibrated to the paper's testbed
-// (Table I: dual Xeon 6530 Gold @ 2.1 GHz, TDX 1.5, Linux 6.2 tdx-patched).
-func DefaultParams() Params {
-	return Params{
-		VMExit:         2400 * time.Nanosecond,
-		Hypercall:      13700 * time.Nanosecond, // ~+470% over a plain exit
-		MMIODirect:     380 * time.Nanosecond,
-		SEPTPerPage:    1900 * time.Nanosecond,
-		ConvertPerPage: 2600 * time.Nanosecond,
-		ScrubPerPage:   950 * time.Nanosecond,
-		DMAMapBase:     1200 * time.Nanosecond,
-		HostMemcpyGBps: 11.5,
-		BounceBufBytes: 256 << 20,
-		CryptoCPU:      swcrypto.IntelEMR,
-		CryptoAlg:      swcrypto.AES128GCM,
-		CryptoWorkers:  1,
-		IDEPerTLP:      250 * time.Nanosecond,
-		BridgeGBps:     26.0,
-	}
-}
-
-// SNPParams returns constants calibrated to an AMD SEV-SNP guest (EPYC
-// Genoa class): guest exits go through the GHCB protocol (VMGEXIT), which
-// hypercall studies measure cheaper than TDX's SEAM transitions, while RMP
-// checks make page-state changes (PVALIDATE + RMPUPDATE) a little dearer
-// than TDX SEPT acceptance.
-func SNPParams() Params {
-	p := DefaultParams()
-	p.Hypercall = 9200 * time.Nanosecond   // VMGEXIT round trip
-	p.SEPTPerPage = 2300 * time.Nanosecond // PVALIDATE + RMPUPDATE
-	p.ConvertPerPage = 2900 * time.Nanosecond
-	p.ScrubPerPage = 1100 * time.Nanosecond
-	return p
-}
-
-// TEEIOParams returns the TDX Connect (TEE-IO) projection: same CPU TEE,
-// but the GPU is a trusted device — direct DMA with hardware IDE and
-// untrapped trusted MMIO.
-func TEEIOParams() Params {
-	p := DefaultParams()
-	p.TEEIO = true
-	return p
-}
-
 // Stats aggregates substrate activity for reporting.
 type Stats struct {
 	Hypercalls     uint64

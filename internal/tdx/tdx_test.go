@@ -10,14 +10,14 @@ import (
 
 func run(cc bool, body func(pl *Platform, p *sim.Proc)) (*Platform, sim.Time) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, cc, DefaultParams())
+	pl := NewLegacyPlatform(eng, cc, defaultParams())
 	eng.Spawn("t", func(p *sim.Proc) { body(pl, p) })
 	end := eng.Run()
 	return pl, end
 }
 
 func TestHypercallMoreExpensiveThanExit(t *testing.T) {
-	p := DefaultParams()
+	p := defaultParams()
 	// The paper cites >470% overhead for tdx_hypercall vs a plain exit.
 	if ratio := float64(p.Hypercall) / float64(p.VMExit); ratio < 4.7 {
 		t.Fatalf("hypercall/exit ratio = %.2f, want >= 4.7", ratio)
@@ -69,7 +69,7 @@ func TestPageOpsScaleWithPages(t *testing.T) {
 
 func TestEncryptChargesCryptoWorkerSerially(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	const n = 10 << 20
 	var ends []sim.Time
 	for i := 0; i < 2; i++ {
@@ -94,7 +94,7 @@ func TestEncryptChargesCryptoWorkerSerially(t *testing.T) {
 
 func TestBouncePoolBlocksWhenExhausted(t *testing.T) {
 	eng := sim.NewEngine()
-	params := DefaultParams()
+	params := defaultParams()
 	params.BounceBufBytes = 1 << 20
 	pl := NewLegacyPlatform(eng, true, params)
 	var secondStart sim.Time
@@ -120,7 +120,7 @@ func TestBouncePoolBlocksWhenExhausted(t *testing.T) {
 
 func TestBounceOversizedRequestPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	params := DefaultParams()
+	params := defaultParams()
 	params.BounceBufBytes = 4096
 	pl := NewLegacyPlatform(eng, true, params)
 	eng.Spawn("a", func(p *sim.Proc) {
@@ -136,7 +136,7 @@ func TestBounceOversizedRequestPanics(t *testing.T) {
 
 func TestBounceUnderflowPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on bounce underflow")
@@ -170,16 +170,16 @@ func TestPropertyCCAlwaysCostsMore(t *testing.T) {
 
 func TestCryptoTimeZeroWithoutCC(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, false, DefaultParams())
+	pl := NewLegacyPlatform(eng, false, defaultParams())
 	if pl.CryptoTime(1<<20) != 0 {
 		t.Fatal("CryptoTime should be 0 without CC")
 	}
 }
 
 func TestProfilePresets(t *testing.T) {
-	td := DefaultParams()
-	snp := SNPParams()
-	teeio := TEEIOParams()
+	td := defaultParams()
+	snp := snpParams()
+	teeio := teeioParams()
 	// SNP: cheaper exits, dearer page-state changes.
 	if snp.Hypercall >= td.Hypercall {
 		t.Fatal("SNP VMGEXIT not cheaper than TDX SEAM transit")
@@ -194,38 +194,38 @@ func TestProfilePresets(t *testing.T) {
 
 func TestAccessorsAndPaths(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	if !pl.CC() || !pl.SoftwareCryptoPath() {
 		t.Fatal("stock TD should report CC + software crypto path")
 	}
-	if pl.Params().Hypercall != DefaultParams().Hypercall {
+	if pl.Params().Hypercall != defaultParams().Hypercall {
 		t.Fatal("Params accessor broken")
 	}
 	if pl.Engine() != eng {
 		t.Fatal("Engine accessor broken")
 	}
-	if pl.MMIOCost() != DefaultParams().Hypercall {
+	if pl.MMIOCost() != defaultParams().Hypercall {
 		t.Fatal("TD MMIOCost should be a hypercall")
 	}
-	vm := NewLegacyPlatform(eng, false, DefaultParams())
+	vm := NewLegacyPlatform(eng, false, defaultParams())
 	if vm.SoftwareCryptoPath() {
 		t.Fatal("legacy VM reports software crypto path")
 	}
-	if vm.MMIOCost() != DefaultParams().MMIODirect {
+	if vm.MMIOCost() != defaultParams().MMIODirect {
 		t.Fatal("VM MMIOCost should be direct")
 	}
 }
 
 func TestHypercallAndHostMemcpy(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.Hypercall(p)
 		pl.HostMemcpy(p, 115*1000*1000) // ~10ms at 11.5 GB/s
 		pl.HostMemcpy(p, 0)             // no-op
 	})
 	end := eng.Run()
-	want := DefaultParams().Hypercall + 10*time.Millisecond
+	want := defaultParams().Hypercall + 10*time.Millisecond
 	diff := time.Duration(end) - want
 	if diff < -time.Millisecond || diff > time.Millisecond {
 		t.Fatalf("hypercall+memcpy = %v, want ~%v", time.Duration(end), want)
@@ -237,17 +237,17 @@ func TestHypercallAndHostMemcpy(t *testing.T) {
 
 func TestTEEIOEncryptDecryptAreIDE(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, TEEIOParams())
+	pl := NewLegacyPlatform(eng, true, teeioParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.Encrypt(p, 1<<30)
 		pl.Decrypt(p, 1<<30)
 	})
 	end := eng.Run()
-	want := 2 * TEEIOParams().IDEPerTLP
+	want := 2 * teeioParams().IDEPerTLP
 	if time.Duration(end) != want {
 		t.Fatalf("TEE-IO crypto = %v, want %v (hardware IDE)", time.Duration(end), want)
 	}
-	if pl.CryptoTime(1<<20) != TEEIOParams().IDEPerTLP {
+	if pl.CryptoTime(1<<20) != teeioParams().IDEPerTLP {
 		t.Fatal("TEE-IO CryptoTime wrong")
 	}
 	if pl.Stats().BytesEncrypted != 1<<30 || pl.Stats().BytesDecrypted != 1<<30 {
@@ -257,7 +257,7 @@ func TestTEEIOEncryptDecryptAreIDE(t *testing.T) {
 
 func TestDecryptChargesWorker(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	eng.Spawn("t", func(p *sim.Proc) { pl.Decrypt(p, 33_600_000) }) // ~10ms at 3.36GB/s
 	end := eng.Run()
 	if time.Duration(end) < 9*time.Millisecond {
@@ -270,13 +270,13 @@ func TestDecryptChargesWorker(t *testing.T) {
 
 func TestPartialPageRoundUpOps(t *testing.T) {
 	eng := sim.NewEngine()
-	pl := NewLegacyPlatform(eng, true, DefaultParams())
+	pl := NewLegacyPlatform(eng, true, defaultParams())
 	eng.Spawn("t", func(p *sim.Proc) {
 		pl.AcceptPrivate(p, 1)
 		pl.ScrubPrivate(p, 1)
 	})
 	end := eng.Run()
-	want := DefaultParams().SEPTPerPage + DefaultParams().ScrubPerPage
+	want := defaultParams().SEPTPerPage + defaultParams().ScrubPerPage
 	if time.Duration(end) != want {
 		t.Fatalf("partial pages = %v, want %v", time.Duration(end), want)
 	}

@@ -1,0 +1,51 @@
+package uvm
+
+import (
+	"time"
+
+	"hccsim/internal/pcie"
+	"hccsim/internal/swcrypto"
+	"hccsim/internal/tdx"
+)
+
+// Test fixture calibration. The production calibration lives in
+// internal/platform, which imports this package — so these in-package
+// tests carry their own copy of the Table I values for the layers a paging
+// rig needs (UVM itself plus the TDX platform and PCIe link underneath).
+func defaultParams() Params {
+	return Params{
+		PageBytes:         64 << 10,
+		FaultService:      20 * time.Microsecond,
+		BatchPages:        48,
+		BatchPagesCC:      1,
+		CCFaultHypercalls: 4,
+		RandomPenalty:     4,
+	}
+}
+
+func tdxParams() tdx.Params {
+	return tdx.Params{
+		VMExit:         2400 * time.Nanosecond,
+		Hypercall:      13700 * time.Nanosecond,
+		MMIODirect:     380 * time.Nanosecond,
+		SEPTPerPage:    1900 * time.Nanosecond,
+		ConvertPerPage: 2600 * time.Nanosecond,
+		ScrubPerPage:   950 * time.Nanosecond,
+		DMAMapBase:     1200 * time.Nanosecond,
+		HostMemcpyGBps: 11.5,
+		BounceBufBytes: 256 << 20,
+		CryptoCPU:      swcrypto.IntelEMR,
+		CryptoAlg:      swcrypto.AES128GCM,
+		CryptoWorkers:  1,
+		IDEPerTLP:      250 * time.Nanosecond,
+		BridgeGBps:     26.0,
+	}
+}
+
+func pcieParams() pcie.Params {
+	return pcie.Params{
+		EffectiveGBps:      52.0,
+		TransactionLatency: 1800 * time.Nanosecond,
+		SPDMSession:        180 * time.Millisecond,
+	}
+}

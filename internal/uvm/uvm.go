@@ -44,18 +44,6 @@ type Params struct {
 	RandomPenalty int
 }
 
-// DefaultParams returns constants calibrated to the paper's testbed.
-func DefaultParams() Params {
-	return Params{
-		PageBytes:         64 << 10,
-		FaultService:      20 * time.Microsecond,
-		BatchPages:        48, // 3 MiB with the density prefetcher
-		BatchPagesCC:      1,  // encrypted paging defeats coalescing entirely
-		CCFaultHypercalls: 4,
-		RandomPenalty:     4,
-	}
-}
-
 // Stats aggregates paging activity.
 type Stats struct {
 	FaultBatches  uint64

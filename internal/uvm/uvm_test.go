@@ -19,9 +19,9 @@ type rig struct {
 
 func newRig(cc bool) *rig {
 	eng := sim.NewEngine()
-	pl := tdx.NewLegacyPlatform(eng, cc, tdx.DefaultParams())
-	link := pcie.NewLink(eng, pcie.DefaultParams())
-	return &rig{eng: eng, pl: pl, link: link, mgr: NewManager(eng, pl, link, DefaultParams())}
+	pl := tdx.NewLegacyPlatform(eng, cc, tdxParams())
+	link := pcie.NewLink(eng, pcieParams())
+	return &rig{eng: eng, pl: pl, link: link, mgr: NewManager(eng, pl, link, defaultParams())}
 }
 
 func (r *rig) run(body func(p *sim.Proc)) sim.Time {
@@ -181,7 +181,7 @@ func TestPartialAccessOnlyMigratesTouchedPages(t *testing.T) {
 	r := newRig(false)
 	rng := r.mgr.NewRange(4 << 20)
 	r.run(func(p *sim.Proc) { rng.GPUAccess(p, 1<<20, false) })
-	want := int64(1<<20) / DefaultParams().PageBytes
+	want := int64(1<<20) / defaultParams().PageBytes
 	if rng.ResidentPages() != want {
 		t.Fatalf("resident pages = %d, want %d", rng.ResidentPages(), want)
 	}
