@@ -49,7 +49,7 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # The committed performance baseline the regression gate compares against.
-BENCH_BASELINE ?= BENCH_2026-08-08.json
+BENCH_BASELINE ?= BENCH_2026-08-09.json
 
 # Refresh the committed baseline on a quiet machine (commit the result).
 bench-baseline:

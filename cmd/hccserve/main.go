@@ -42,12 +42,13 @@ func main() {
 	capacity := flag.Bool("capacity", true, "also search each mode's max sustainable rate at the SLO target")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	out := flag.String("o", "-", "output file ('-' for stdout)")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace of the first mode×rate run to this file")
 	flag.Parse()
 
 	// Validate the platform and every mode up front — a bad name or an
 	// illegal mode×platform pair should fail before the first multi-second
 	// simulation, not after it.
-	if _, err := hccsim.PlatformConfig(*platformName, "off"); err != nil {
+	if _, err := hccsim.Configure(hccsim.Spec{Platform: *platformName}); err != nil {
 		fatal(fmt.Errorf("hccserve: invalid -platform: %v", err))
 	}
 	modeNames := splitList(*modes)
@@ -55,7 +56,7 @@ func main() {
 		fatal(fmt.Errorf("hccserve: -modes is empty (valid: %s)", strings.Join(hccsim.Modes(), ", ")))
 	}
 	for _, m := range modeNames {
-		if _, err := hccsim.PlatformConfig(*platformName, m); err != nil {
+		if _, err := hccsim.Configure(hccsim.Spec{Platform: *platformName, Mode: m}); err != nil {
 			fatal(fmt.Errorf("hccserve: invalid -modes entry %q: %v (valid: %s, optionally +pipelined)",
 				m, err, strings.Join(hccsim.Modes(), ", ")))
 		}
@@ -78,11 +79,22 @@ func main() {
 	}
 
 	var reports []hccsim.ServeReport
-	for _, m := range modeNames {
-		for _, r := range rateVals {
-			rep, err := hccsim.ServeTraffic(cfg(m, r))
+	for i, m := range modeNames {
+		for j, r := range rateVals {
+			c := cfg(m, r)
+			if *traceOut != "" && i == 0 && j == 0 {
+				c.Observer = hccsim.NewObserver()
+			}
+			rep, err := hccsim.ServeTraffic(c)
 			if err != nil {
 				fatal(err)
+			}
+			if c.Observer != nil {
+				if err := writeTrace(*traceOut, c.Observer); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "chrome trace of %s @ %gqps written to %s (load it at https://ui.perfetto.dev)\n",
+					m, r, *traceOut)
 			}
 			reports = append(reports, rep)
 		}
@@ -208,6 +220,18 @@ func parseRates(s string) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+func writeTrace(path string, o *hccsim.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func ms(d time.Duration) float64   { return d.Seconds() * 1e3 }

@@ -13,6 +13,7 @@ import (
 
 	"hccsim/internal/core"
 	"hccsim/internal/cuda"
+	"hccsim/internal/obs"
 	"hccsim/internal/trace"
 	"hccsim/internal/workloads"
 )
@@ -24,6 +25,8 @@ func main() {
 	uvm := flag.Bool("uvm", false, "use the UVM (cudaMallocManaged) variant")
 	events := flag.Bool("events", false, "dump every trace event")
 	jsonOut := flag.String("json", "", "write the full trace as JSON to this file ('-' for stdout)")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace (simulated-time spans + metrics) to this file ('-' for stdout)")
+	summary := flag.Bool("summary", false, "print the per-track span summary (implies span recording)")
 	gantt := flag.Bool("gantt", false, "render a Fig-1-style ASCII timeline")
 	list := flag.Bool("list", false, "list applications and exit")
 	flag.Parse()
@@ -63,8 +66,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hcctrace:", err)
 		os.Exit(1)
 	}
-	res := workloads.Execute(spec, mode, cfg)
+	var o *obs.Observer
+	if *traceOut != "" || *summary {
+		o = obs.New()
+	}
+	res := workloads.ExecuteObserved(spec, mode, cfg, o)
 	rt := res.Runtime
+
+	if *traceOut != "" {
+		out := os.Stdout
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := o.WriteChromeTrace(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *traceOut == "-" {
+			return // keep stdout pure JSON
+		}
+		fmt.Printf("chrome trace written to %s (load it at https://ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *summary {
+		if err := o.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 
 	if *jsonOut != "" {
 		out := os.Stdout

@@ -23,11 +23,11 @@ func main() {
 			batch int
 			prec  string
 		}{{64, "fp32"}, {1024, "fp32"}, {1024, "fp16"}} {
-			base, err := hccsim.TrainCNNMode(name, cfg.batch, cfg.prec, "off")
+			base, err := hccsim.Train(name, cfg.batch, cfg.prec, hccsim.Spec{})
 			if err != nil {
 				panic(err)
 			}
-			cc, err := hccsim.TrainCNNMode(name, cfg.batch, cfg.prec, "tdx-h100")
+			cc, err := hccsim.Train(name, cfg.batch, cfg.prec, hccsim.Spec{Mode: "tdx-h100"})
 			if err != nil {
 				panic(err)
 			}
@@ -42,7 +42,7 @@ func main() {
 		batch int
 		prec  string
 	}{{64, "fp32"}, {1024, "fp32"}, {1024, "amp"}, {1024, "fp16"}} {
-		r, err := hccsim.TrainCNNMode("resnet50", cfg.batch, cfg.prec, "tdx-h100")
+		r, err := hccsim.Train("resnet50", cfg.batch, cfg.prec, hccsim.Spec{Mode: "tdx-h100"})
 		if err != nil {
 			panic(err)
 		}

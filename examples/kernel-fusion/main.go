@@ -35,7 +35,7 @@ func pipeline(fuse int) []hccsim.KernelSpec {
 }
 
 func newSystem(mode string) *hccsim.System {
-	cfg, err := hccsim.NewConfig(mode)
+	cfg, err := hccsim.Configure(hccsim.Spec{Mode: mode})
 	if err != nil {
 		panic(err)
 	}

@@ -20,7 +20,7 @@ import (
 
 // serve runs one configuration, exiting on invalid backend/quant/mode names.
 func serve(backend, quant string, batch int, mode string) hccsim.LLMResult {
-	r, err := hccsim.ServeLLMMode(backend, quant, batch, mode)
+	r, err := hccsim.Serve(backend, quant, batch, hccsim.Spec{Mode: mode})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func main() {
 
 	// Validate the mode before the first simulation so a typo fails
 	// immediately with the valid names, not mid-table.
-	if _, err := hccsim.NewConfig(*ccMode); err != nil {
+	if _, err := hccsim.Configure(hccsim.Spec{Mode: *ccMode}); err != nil {
 		log.Fatalf("llm-serving: invalid -mode %q: %v (valid: %s, optionally +pipelined)",
 			*ccMode, err, strings.Join(hccsim.Modes(), ", "))
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"hccsim"
 	"hccsim/internal/cuda"
 	"hccsim/internal/sim"
 )
@@ -17,7 +18,7 @@ const transfer = int64(1) << 30
 
 func run(mode string, nvlink bool) (time.Duration, uint64, int64) {
 	eng := sim.NewEngine()
-	cfg, err := cuda.NewConfig(mode)
+	cfg, err := hccsim.Configure(hccsim.Spec{Mode: mode})
 	if err != nil {
 		panic(err)
 	}

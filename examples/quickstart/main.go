@@ -36,7 +36,7 @@ func main() {
 	fmt.Println("quickstart: 256 MiB in/out, 3 kernels, H100-class GPU behind PCIe 5.0")
 	var totals [2]time.Duration
 	for i, mode := range []string{"off", "tdx-h100"} {
-		cfg, err := hccsim.NewConfig(mode)
+		cfg, err := hccsim.Configure(hccsim.Spec{Mode: mode})
 		if err != nil {
 			panic(err)
 		}

@@ -14,7 +14,7 @@ import (
 const transfer = int64(512) << 20
 
 func run(mode string, streams int, ket time.Duration) (time.Duration, float64) {
-	cfg, err := hccsim.NewConfig(mode)
+	cfg, err := hccsim.Configure(hccsim.Spec{Mode: mode})
 	if err != nil {
 		panic(err)
 	}

@@ -38,7 +38,7 @@ func managed(c *hccsim.Context) {
 }
 
 func run(name, mode string, app func(*hccsim.Context)) (time.Duration, time.Duration) {
-	cfg, err := hccsim.NewConfig(mode)
+	cfg, err := hccsim.Configure(hccsim.Spec{Mode: mode})
 	if err != nil {
 		panic(err)
 	}

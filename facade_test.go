@@ -1,0 +1,267 @@
+package hccsim
+
+// Tests for the options-based facade (Spec/Configure/Run/Train/Serve), its
+// compatibility with the deprecated positional API, and the observability
+// layer's golden Chrome-trace exports. The simulator is deterministic, so a
+// trace must be byte-identical run over run and across versions; regenerate
+// the goldens after an intentional timing or instrumentation change with:
+//
+//	go test . -run GoldenChromeTraces -update
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// traceModes are the protection modes pinned by golden traces: every
+// canonical mode plus the pipelined decorator on the software-crypto path.
+var traceModes = []string{"off", "tdx-h100", "tee-io-direct", "tee-io-bridge", "tdx-h100+pipelined"}
+
+// TestGoldenChromeTraces byte-compares the Chrome trace of one small
+// workload (gemm: one launch, two copies) per mode against a committed
+// golden, after checking three repeat runs export identically.
+func TestGoldenChromeTraces(t *testing.T) {
+	for _, mode := range traceModes {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			render := func() []byte {
+				o := NewObserver()
+				if _, err := RunObserved("gemm", Spec{Mode: mode}, o); err != nil {
+					t.Fatal(err)
+				}
+				return o.ChromeTrace()
+			}
+			got := render()
+			for i := 0; i < 2; i++ {
+				if again := render(); !bytes.Equal(got, again) {
+					t.Fatalf("trace export differs across repeats (run %d)", i+2)
+				}
+			}
+			path := filepath.Join("testdata", "trace-"+strings.ReplaceAll(mode, "+", "-")+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden trace (run with -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s trace drifted from golden %s (%d vs %d bytes); rerun with -update if intentional",
+					mode, path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestConfigureMatchesDeprecatedConstructors pins the facade's config
+// resolution to the positional constructors it replaces.
+func TestConfigureMatchesDeprecatedConstructors(t *testing.T) {
+	for _, mode := range []string{"off", "tdx-h100", "tee-io-direct"} {
+		got, err := Configure(Spec{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewConfig(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Configure(Spec{Mode:%q}) != NewConfig(%q)", mode, mode)
+		}
+	}
+	got, err := Configure(Spec{Platform: "b300-bridge", Mode: "tee-io-bridge"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlatformConfig("b300-bridge", "tee-io-bridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Configure != PlatformConfig for b300-bridge/tee-io-bridge")
+	}
+	if _, err := Configure(Spec{Mode: "h100"}); err == nil {
+		t.Error("Configure accepted an unknown mode")
+	}
+	if _, err := Configure(Spec{Platform: "dgx"}); err == nil {
+		t.Error("Configure accepted an unknown platform")
+	}
+}
+
+// TestRunMatchesDeprecatedWrappers checks the deprecated workload entry
+// points return the exact Model of the facade they now delegate to,
+// including the legacy CC-boolean to mode-name mapping.
+func TestRunMatchesDeprecatedWrappers(t *testing.T) {
+	want, err := Run("2mm", Spec{Mode: "tdx-h100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := RunWorkload("2mm", false, true) // cc=true is tdx-h100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, want) {
+		t.Errorf("RunWorkload(cc=true) = %+v, want Run model %+v", old, want)
+	}
+	wantUVM, err := Run("2dconv", Spec{Mode: "tee-io-bridge", UVM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldUVM, err := RunWorkloadMode("2dconv", true, "tee-io-bridge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldUVM, wantUVM) {
+		t.Errorf("RunWorkloadMode = %+v, want Run model %+v", oldUVM, wantUVM)
+	}
+}
+
+// TestTrainServeMatchDeprecatedWrappers checks the nn facade against both
+// deprecated spellings: the *Mode wrappers must agree exactly, the
+// CC-boolean wrappers on every result field except the embedded Config
+// (which records the request's spelling — CC bool vs Mode name).
+func TestTrainServeMatchDeprecatedWrappers(t *testing.T) {
+	tr, err := Train("resnet50", 64, "amp", Spec{Mode: "tdx-h100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trMode, err := TrainCNNMode("resnet50", 64, "amp", "tdx-h100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, trMode) {
+		t.Errorf("Train = %+v, TrainCNNMode = %+v", tr, trMode)
+	}
+	trCC, err := TrainCNN("resnet50", 64, "amp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trCC.IterTime != tr.IterTime || trCC.Throughput != tr.Throughput ||
+		trCC.TrainingTime != tr.TrainingTime || trCC.CopyPerIter != tr.CopyPerIter ||
+		trCC.LaunchPerIter != tr.LaunchPerIter {
+		t.Errorf("TrainCNN(cc=true) = %+v, want Train result %+v", trCC, tr)
+	}
+
+	sv, err := Serve("vllm", "awq", 8, Spec{Mode: "tdx-h100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svMode, err := ServeLLMMode("vllm", "awq", 8, "tdx-h100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sv, svMode) {
+		t.Errorf("Serve = %+v, ServeLLMMode = %+v", sv, svMode)
+	}
+	svCC, err := ServeLLM("vllm", "awq", 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svCC.StepTime != sv.StepTime || svCC.TokensPerSec != sv.TokensPerSec {
+		t.Errorf("ServeLLM(cc=true) = %+v, want Serve result %+v", svCC, sv)
+	}
+
+	// Train and Serve model the h100-tdx testbed only.
+	if _, err := Train("resnet50", 64, "amp", Spec{Platform: "b300-bridge", Mode: "tee-io-bridge"}); err == nil {
+		t.Error("Train accepted a non-h100-tdx platform")
+	}
+	if _, err := Serve("vllm", "awq", 8, Spec{Platform: "b300-bridge", Mode: "tee-io-bridge"}); err == nil {
+		t.Error("Serve accepted a non-h100-tdx platform")
+	}
+}
+
+// TestUnknownValueErrors checks every unknown-name error names the legal
+// values and matches the ErrUnknownValue sentinel through errors.Is.
+func TestUnknownValueErrors(t *testing.T) {
+	_, err := Train("resnet50", 64, "int8", Spec{})
+	if !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("Train precision error %v does not match ErrUnknownValue", err)
+	}
+	if !strings.Contains(err.Error(), "fp32") || !strings.Contains(err.Error(), "amp") {
+		t.Errorf("precision error does not list legal values: %v", err)
+	}
+	_, err = Serve("tensorrt", "bf16", 8, Spec{})
+	if !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("Serve backend error %v does not match ErrUnknownValue", err)
+	}
+	if !strings.Contains(err.Error(), "vllm") {
+		t.Errorf("backend error does not list legal values: %v", err)
+	}
+	_, err = Serve("vllm", "int4", 8, Spec{})
+	if !errors.Is(err, ErrUnknownValue) {
+		t.Fatalf("Serve quant error %v does not match ErrUnknownValue", err)
+	}
+	if !strings.Contains(err.Error(), "bf16") || !strings.Contains(err.Error(), "awq") {
+		t.Errorf("quant error does not list legal values: %v", err)
+	}
+	// Unrelated errors must not match the sentinel.
+	if _, err := Run("nope", Spec{}); errors.Is(err, ErrUnknownValue) {
+		t.Error("unknown-workload error wrongly matches ErrUnknownValue")
+	}
+}
+
+// TestRunEConsumed checks the error-returning run path: one run works, the
+// second reports ErrRunConsumed instead of panicking.
+func TestRunEConsumed(t *testing.T) {
+	sys := NewSystem(DefaultConfig(false))
+	app := func(c *Context) {
+		d := c.Malloc("d", 1<<20)
+		c.Free(d)
+	}
+	d, err := sys.RunE(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("RunE elapsed %v, want > 0", d)
+	}
+	if _, err := sys.RunE(app); !errors.Is(err, ErrRunConsumed) {
+		t.Fatalf("second RunE = %v, want ErrRunConsumed", err)
+	}
+}
+
+// TestSystemObserve checks the session-style observability hook: Observe is
+// idempotent, spans land during the run, and the end-of-run metrics are
+// published into the observer's registry.
+func TestSystemObserve(t *testing.T) {
+	sys := NewSystem(DefaultConfig(true))
+	o := sys.Observe()
+	if o == nil || sys.Observe() != o {
+		t.Fatal("Observe not idempotent")
+	}
+	sys.Run(func(c *Context) {
+		h := c.HostBuffer("in", 8<<20)
+		d := c.Malloc("buf", 8<<20)
+		c.Memcpy(d, h, 8<<20)
+		c.Free(d)
+	})
+	if o.Spans() == 0 {
+		t.Fatal("no spans recorded through System.Observe")
+	}
+	var sawEvents bool
+	o.Metrics().Each(func(m MetricPoint) {
+		if m.Name == "sim.events_fired" && m.Value > 0 {
+			sawEvents = true
+		}
+	})
+	if !sawEvents {
+		t.Error("sim.events_fired gauge missing from published metrics")
+	}
+	trace := o.ChromeTrace()
+	if !bytes.Contains(trace, []byte(`"cuda-api"`)) || !bytes.Contains(trace, []byte(`"ph":"X"`)) {
+		t.Errorf("chrome trace missing expected content:\n%s", trace)
+	}
+}

@@ -99,11 +99,16 @@ type (
 
 // DefaultConfig returns the paper's Table I system (dual Xeon 6530 + H100
 // NVL over PCIe 5.0) with confidential computing on or off.
+//
+// Deprecated: use Configure(Spec{Mode: ...}) — the spec API names the mode
+// instead of collapsing it to a boolean.
 func DefaultConfig(cc bool) Config { return cuda.DefaultConfig(cc) }
 
 // NewConfig returns the Table I system under a named protection mode:
 // "off", "tdx-h100", "tee-io-direct", "tee-io-bridge", each optionally
 // suffixed "+pipelined" (see Modes).
+//
+// Deprecated: use Configure(Spec{Mode: mode}).
 func NewConfig(mode string) (Config, error) { return cuda.NewConfig(mode) }
 
 // Modes lists the canonical protection-mode names.
@@ -117,6 +122,8 @@ func Platforms() []string { return platform.Names() }
 // platform); the registry adds projected systems such as "b300-bridge" and
 // "gh200-c2c". The mode must be valid on the platform; the error lists the
 // platform's legal modes otherwise.
+//
+// Deprecated: use Configure(Spec{Platform: platformName, Mode: mode}).
 func PlatformConfig(platformName, mode string) (Config, error) {
 	return cuda.PlatformConfig(platformName, mode)
 }
@@ -125,6 +132,7 @@ func PlatformConfig(platformName, mode string) (Config, error) {
 type System struct {
 	eng *sim.Engine
 	rt  *cuda.Runtime
+	obs *Observer // attached by Observe; nil = tracing off
 	ran bool
 }
 
@@ -143,18 +151,14 @@ func (s *System) Mode() string { return s.rt.Mode().Name() }
 // Run executes app as the host program and returns the simulated elapsed
 // time. Run may be called once per System — the engine, trace and device
 // state are consumed by the run — so build a fresh System per run; a second
-// call panics.
+// call panics (RunE returns ErrRunConsumed instead for callers that prefer
+// an error).
 func (s *System) Run(app func(c *Context)) time.Duration {
-	if s.ran {
-		panic("hccsim: System.Run called twice; a System simulates one run — build a fresh System (NewSystem) per run")
+	d, err := s.RunE(app)
+	if err != nil {
+		panic(err.Error())
 	}
-	s.ran = true
-	start := s.eng.Now()
-	s.eng.Spawn("host", func(p *sim.Proc) {
-		app(s.rt.Bind(p))
-	})
-	end := s.eng.Run()
-	return end.Sub(start)
+	return d
 }
 
 // Metrics analyzes the recorded trace (valid after Run).
@@ -208,17 +212,17 @@ func WorkloadByName(name string) (Workload, error) { return workloads.ByName(nam
 
 // RunWorkload executes a named application and returns its fitted model.
 // uvm selects the managed-memory variant where the app supports it.
+//
+// Deprecated: use Run(name, Spec{Mode: ..., UVM: uvm}).
 func RunWorkload(name string, uvm, cc bool) (Model, error) {
-	return runWorkloadWith(name, uvm, cuda.DefaultConfig(cc))
+	return Run(name, Spec{Mode: ccmode.Legacy(cc, false).Name(), UVM: uvm})
 }
 
 // RunWorkloadMode is RunWorkload under a named protection mode.
+//
+// Deprecated: use Run(name, Spec{Mode: ccMode, UVM: uvm}).
 func RunWorkloadMode(name string, uvm bool, ccMode string) (Model, error) {
-	cfg, err := cuda.NewConfig(ccMode)
-	if err != nil {
-		return Model{}, err
-	}
-	return runWorkloadWith(name, uvm, cfg)
+	return Run(name, Spec{Mode: ccMode, UVM: uvm})
 }
 
 func runWorkloadWith(name string, uvm bool, cfg Config) (Model, error) {
@@ -242,6 +246,8 @@ func Figure(id string) (Table, error) { return figures.Generate(id) }
 
 // TrainCNN runs one Fig. 13 training configuration; model names follow the
 // paper (vgg16, resnet50, mobilenetv2, squeezenet, attention92, inceptionv4).
+//
+// Deprecated: use Train(model, batch, precision, Spec{Mode: ...}).
 func TrainCNN(model string, batch int, precision string, cc bool) (nn.TrainResult, error) {
 	m, err := nn.ModelByName(model)
 	if err != nil {
@@ -255,6 +261,8 @@ func TrainCNN(model string, batch int, precision string, cc bool) (nn.TrainResul
 }
 
 // TrainCNNMode is TrainCNN under a named protection mode.
+//
+// Deprecated: use Train(model, batch, precision, Spec{Mode: ccMode}).
 func TrainCNNMode(model string, batch int, precision, ccMode string) (nn.TrainResult, error) {
 	m, err := nn.ModelByName(model)
 	if err != nil {
@@ -273,6 +281,8 @@ func TrainCNNMode(model string, batch int, precision, ccMode string) (nn.TrainRe
 // ServeLLM runs one Fig. 14 inference configuration (backend "hf" or
 // "vllm"; quant "bf16" or "awq"). Unknown backend or quantization names are
 // errors (UnknownBackendError / UnknownQuantError), not silent defaults.
+//
+// Deprecated: use Serve(backend, quant, batch, Spec{Mode: ...}).
 func ServeLLM(backend, quant string, batch int, cc bool) (nn.LLMResult, error) {
 	b, err := nn.BackendByName(backend)
 	if err != nil {
@@ -286,6 +296,8 @@ func ServeLLM(backend, quant string, batch int, cc bool) (nn.LLMResult, error) {
 }
 
 // ServeLLMMode is ServeLLM under a named protection mode.
+//
+// Deprecated: use Serve(backend, quant, batch, Spec{Mode: ccMode}).
 func ServeLLMMode(backend, quant string, batch int, ccMode string) (nn.LLMResult, error) {
 	b, err := nn.BackendByName(backend)
 	if err != nil {

@@ -141,6 +141,7 @@ var DeterministicPackages = map[string]bool{
 	"hccsim/internal/ccmode":     true,
 	"hccsim/internal/batch":      true,
 	"hccsim/internal/figures":    true,
+	"hccsim/internal/obs":        true,
 	"hccsim/internal/serve":      true,
 	"hccsim/internal/uvm":        true,
 	"hccsim/internal/swcrypto":   true,

@@ -20,7 +20,8 @@
 // act on the simulation only through a Port, the narrow view of the
 // CPU-substrate + link primitives the copy and fault paths need. The
 // concrete Port lives in internal/tdx, which keeps this package a leaf
-// (ccmode imports only internal/sim) so every other layer can depend on it.
+// (ccmode imports only the leaf packages internal/sim and internal/obs) so
+// every other layer can depend on it.
 package ccmode
 
 import (
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 )
 
@@ -73,6 +75,10 @@ type Port interface {
 	// bridge: one resource spanning both directions, derated bandwidth,
 	// hardware IDE latency per transaction.
 	BridgeDMA(p *sim.Proc, d Direction, n int64)
+	// Observer returns the attached observability layer, or nil when
+	// tracing is off; modes open copy-path spans through it, paying one
+	// nil check when disabled.
+	Observer() *obs.Observer
 
 	// The A-forms are the continuation-passing counterparts used by actor
 	// chains (run-to-completion tasks and Proc Await bridges): same costs
@@ -160,6 +166,7 @@ type chunkFrame struct {
 	chunk  int64
 	n      int64 // size of the chunk in flight
 	pinned bool
+	sp     obs.Span // whole-chain span; the zero Span when tracing is off
 	one    func(f *chunkFrame)
 	step   func(any)
 	state  any
@@ -169,6 +176,7 @@ type chunkFrame struct {
 func chunkNext(x any) {
 	f := x.(*chunkFrame)
 	if f.off >= f.bytes {
+		f.sp.End()
 		f.step(f.state)
 		return
 	}
@@ -197,6 +205,33 @@ func migrateAwait(m Mode, port Port, p *sim.Proc, dir Direction, bytes int64) {
 	p.Await(func(a *sim.Actor, step func(any), state any) {
 		m.MigrateA(port, a, dir, bytes, step, state)
 	})
+}
+
+// beginTransfer opens the whole-transfer span on the shared "ccmode"
+// track; the zero Span comes back (one nil check) when tracing is off.
+func beginTransfer(port Port, mode string, dir Direction, bytes int64) obs.Span {
+	o := port.Observer()
+	if o == nil {
+		return obs.Span{}
+	}
+	name := "transfer-h2d"
+	if dir == D2H {
+		name = "transfer-d2h"
+	}
+	return o.Track("ccmode").Begin(name).Mode(mode).Bytes(bytes)
+}
+
+// beginMigrate opens the whole-page-move span on the "ccmode" track.
+func beginMigrate(port Port, mode string, dir Direction, bytes int64) obs.Span {
+	o := port.Observer()
+	if o == nil {
+		return obs.Span{}
+	}
+	name := "migrate-h2d"
+	if dir == D2H {
+		name = "migrate-d2h"
+	}
+	return o.Track("ccmode").Begin(name).Mode(mode).Bytes(bytes)
 }
 
 // directChunk is the unprotected copy path shared by Off and the legacy

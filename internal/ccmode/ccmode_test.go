@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 )
 
@@ -116,6 +117,7 @@ func newOpPort(eng *sim.Engine) *opPort {
 }
 
 func (pt *opPort) Engine() *sim.Engine                   { return pt.eng }
+func (pt *opPort) Observer() *obs.Observer               { return nil }
 func (pt *opPort) Encrypt(p *sim.Proc, n int64)          { pt.rec("enc"); p.Sleep(time.Duration(n)) }
 func (pt *opPort) Decrypt(p *sim.Proc, n int64)          { pt.rec("dec"); p.Sleep(time.Duration(n)) }
 func (pt *opPort) BounceAcquire(p *sim.Proc, n int64)    { pt.rec("acq") }

@@ -52,9 +52,10 @@ func (m Off) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
 }
 
 // TransferA implements Mode.
-func (Off) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+func (m Off) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
 	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
-		pinned: pinned, one: directChunk, step: step, state: state}
+		pinned: pinned, sp: beginTransfer(port, m.Name(), dir, bytes),
+		one: directChunk, step: step, state: state}
 	chunkNext(f)
 	return false
 }
@@ -116,17 +117,19 @@ func (m TDXH100) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64) {
 }
 
 // TransferA implements Mode.
-func (TDXH100) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+func (m TDXH100) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
 	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
+		sp:  beginTransfer(port, m.Name(), dir, bytes),
 		one: tdxChunk, step: step, state: state}
 	chunkNext(f)
 	return pinned
 }
 
 // MigrateA implements Mode: one single-shot bounce+crypto+DMA chain.
-func (TDXH100) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+func (m TDXH100) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
 	f := &chunkFrame{port: port, a: a, dir: dir, off: bytes, bytes: bytes,
-		n: bytes, step: step, state: state}
+		n: bytes, sp: beginMigrate(port, m.Name(), dir, bytes),
+		step: step, state: state}
 	tdxChunk(f)
 }
 
@@ -211,17 +214,19 @@ func (m TEEIODirect) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64)
 }
 
 // TransferA implements Mode.
-func (TEEIODirect) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+func (m TEEIODirect) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
 	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
-		pinned: pinned, one: directChunk, step: step, state: state}
+		pinned: pinned, sp: beginTransfer(port, m.Name(), dir, bytes),
+		one: directChunk, step: step, state: state}
 	chunkNext(f)
 	return false
 }
 
 // MigrateA implements Mode: one single-shot IDE-crypto+DMA chain.
-func (TEEIODirect) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
+func (m TEEIODirect) MigrateA(port Port, a *sim.Actor, dir Direction, bytes int64, step func(any), state any) {
 	f := &chunkFrame{port: port, a: a, dir: dir, off: bytes, bytes: bytes,
-		n: bytes, step: step, state: state}
+		n: bytes, sp: beginMigrate(port, m.Name(), dir, bytes),
+		step: step, state: state}
 	if dir == H2D {
 		f.port.EncryptA(f.a, f.n, teeioEncrypted, f)
 	} else {
@@ -292,9 +297,10 @@ func (m TEEIOBridge) Migrate(port Port, p *sim.Proc, dir Direction, bytes int64)
 }
 
 // TransferA implements Mode.
-func (TEEIOBridge) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
+func (m TEEIOBridge) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chunk int64, pinned bool, step func(any), state any) bool {
 	f := &chunkFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
-		pinned: pinned, one: bridgeChunk, step: step, state: state}
+		pinned: pinned, sp: beginTransfer(port, m.Name(), dir, bytes),
+		one: bridgeChunk, step: step, state: state}
 	chunkNext(f)
 	return false
 }

@@ -3,6 +3,7 @@ package ccmode
 import (
 	"time"
 
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 )
 
@@ -93,8 +94,18 @@ type pipeFrame struct {
 	nChunks int
 	q       *sim.Queue[int64]
 	done    *sim.Signal
+	sp      obs.Span // this stage's span; the zero Span when tracing is off
 	step    func(any)
 	state   any
+}
+
+// pipeSpan opens one pipeline-stage span on the companion DMA track.
+func pipeSpan(port Port, name string, bytes int64) obs.Span {
+	o := port.Observer()
+	if o == nil {
+		return obs.Span{}
+	}
+	return o.Track("ccmode-pipelined-dma").Begin(name).Bytes(bytes)
 }
 
 // TransferA implements Mode: the CPS form of the two-stage pipeline. The
@@ -110,23 +121,27 @@ func (m Pipelined) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chun
 
 	if dir == H2D {
 		done := sim.NewSignal(eng).SetLabel("ccmode-pipelined-done")
-		cf := &pipeFrame{port: port, dir: dir, nChunks: nChunks, q: q, done: done}
+		cf := &pipeFrame{port: port, dir: dir, nChunks: nChunks, q: q, done: done,
+			sp: pipeSpan(port, "drain-h2d", bytes)}
 		eng.SpawnActor("ccmode-pipelined-dma", func(ca *sim.Actor) {
 			cf.a = ca
 			pipeDrainNext(cf)
 		})
 		f := &pipeFrame{port: port, a: a, dir: dir, bytes: bytes, chunk: chunk,
-			q: q, done: done, step: step, state: state}
+			q: q, done: done, sp: beginTransfer(port, m.Name(), dir, bytes),
+			step: step, state: state}
 		pipeFillNext(f)
 		return pinned
 	}
 
-	cf := &pipeFrame{port: port, dir: dir, bytes: bytes, chunk: chunk, q: q}
+	cf := &pipeFrame{port: port, dir: dir, bytes: bytes, chunk: chunk, q: q,
+		sp: pipeSpan(port, "produce-d2h", bytes)}
 	eng.SpawnActor("ccmode-pipelined-dma", func(ca *sim.Actor) {
 		cf.a = ca
 		pipeProduceNext(cf)
 	})
 	f := &pipeFrame{port: port, a: a, dir: dir, nChunks: nChunks, q: q,
+		sp:   beginTransfer(port, m.Name(), dir, bytes),
 		step: step, state: state}
 	pipeConsumeNext(f)
 	return pinned
@@ -137,7 +152,7 @@ func (m Pipelined) TransferA(port Port, a *sim.Actor, dir Direction, bytes, chun
 func pipeFillNext(x any) {
 	f := x.(*pipeFrame)
 	if f.off >= f.bytes {
-		f.done.WaitA(f.a, f.step, f.state)
+		f.done.WaitA(f.a, pipeFillDone, f)
 		return
 	}
 	n := f.bytes - f.off
@@ -147,6 +162,14 @@ func pipeFillNext(x any) {
 	f.n = n
 	f.off += n
 	f.port.BounceAcquireA(f.a, n, pipeFillBounced, f)
+}
+
+// pipeFillDone closes the caller-side transfer span once the companion's
+// last chunk has landed, then resumes the wrapped continuation.
+func pipeFillDone(x any) {
+	f := x.(*pipeFrame)
+	f.sp.End()
+	f.step(f.state)
 }
 
 func pipeFillBounced(x any) {
@@ -165,6 +188,7 @@ func pipeFillEncrypted(x any) {
 func pipeDrainNext(x any) {
 	f := x.(*pipeFrame)
 	if f.i == f.nChunks {
+		f.sp.End()
 		f.done.Fire()
 		f.a.Done()
 		return
@@ -190,6 +214,7 @@ func pipeDrainLanded(x any) {
 func pipeProduceNext(x any) {
 	f := x.(*pipeFrame)
 	if f.off >= f.bytes {
+		f.sp.End()
 		f.a.Done()
 		return
 	}
@@ -217,6 +242,7 @@ func pipeProduceLanded(x any) {
 func pipeConsumeNext(x any) {
 	f := x.(*pipeFrame)
 	if f.i == f.nChunks {
+		f.sp.End()
 		f.step(f.state)
 		return
 	}

@@ -3,6 +3,7 @@ package cuda
 import (
 	"fmt"
 
+	"hccsim/internal/obs"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/trace"
@@ -74,8 +75,21 @@ type memcpyFrame struct {
 	start   int64
 	bytes   int64
 	managed bool
+	sp      obs.Span
 	step    func(any)
 	state   any
+}
+
+// memcpyName labels the host-API span for a transfer class.
+func memcpyName(cl copyClass) string {
+	switch {
+	case cl.d2d:
+		return "memcpy-d2d"
+	case cl.dir == pcie.H2D:
+		return "memcpy-h2d"
+	default:
+		return "memcpy-d2h"
+	}
 }
 
 // MemcpyA is the continuation form of Memcpy, for run-to-completion
@@ -85,7 +99,8 @@ func (c *Context) MemcpyA(a *sim.Actor, dst, src *Buffer, bytes int64, step func
 	cl := classify(dst, src)
 	f := c.rt.memcpyFrames.Get()
 	*f = memcpyFrame{c: c, a: a, kind: cl.kind, dir: cl.dir, pinned: cl.pinned,
-		d2d: cl.d2d, start: int64(a.Now()), bytes: bytes, step: step, state: state}
+		d2d: cl.d2d, start: int64(a.Now()), bytes: bytes, step: step, state: state,
+		sp: c.rt.api.Begin(memcpyName(cl)).Bytes(bytes)}
 	a.Sleep(c.rt.params.CopySW, memcpyKicked, f)
 }
 
@@ -115,6 +130,7 @@ func memcpyLanded(x any) {
 		// Nsight labels CC "pinned" transfers as managed D2D (Obs. 1).
 		kind = trace.KindMemcpyD2D
 	}
+	f.sp.End()
 	c.rt.tracer.Record(trace.Event{
 		Kind: kind, Name: "cudaMemcpy", Stream: -1,
 		Start: simTime(f.start), End: a.Now(), Bytes: f.bytes, Managed: f.managed,

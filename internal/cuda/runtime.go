@@ -12,6 +12,7 @@ import (
 	"hccsim/internal/ccmode"
 	"hccsim/internal/gpu"
 	"hccsim/internal/hbm"
+	"hccsim/internal/obs"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
@@ -29,6 +30,11 @@ type Runtime struct {
 	tracer    *trace.Tracer
 	params    Params
 	uvmParams uvm.Params
+
+	// obs is the attached observability layer (nil when tracing is off)
+	// and api its host-API timeline for blocking calls like cudaMemcpy.
+	obs *obs.Observer
+	api obs.Track
 
 	moduleSeen map[string]bool
 	launches   int
@@ -72,6 +78,62 @@ func New(eng *sim.Engine, cfg Config) *Runtime {
 		uvmParams:  cfg.UVM,
 		moduleSeen: make(map[string]bool),
 	}
+}
+
+// SetObserver attaches the observability layer to the runtime and every
+// substrate below it in a fixed order — host API, platform crypto/bounce,
+// PCIe link, device channels, UVM — so track registration, and with it
+// exported track ordering, never depends on which paths a run exercises.
+func (rt *Runtime) SetObserver(o *obs.Observer) {
+	rt.obs = o
+	rt.api = o.Track("cuda-api")
+	rt.pl.SetObserver(o)
+	rt.link.SetObserver(o)
+	rt.dev.SetObserver(o)
+	rt.dev.UVM().SetObserver(o)
+}
+
+// Observer returns the attached observability layer, or nil.
+func (rt *Runtime) Observer() *obs.Observer { return rt.obs }
+
+// PublishMetrics snapshots the counters of every layer into the observer's
+// metrics registry as end-of-run gauges. Safe to call repeatedly (gauges
+// overwrite) and a no-op without an observer.
+func (rt *Runtime) PublishMetrics() {
+	if rt.obs == nil {
+		return
+	}
+	reg := rt.obs.Metrics()
+	set := func(name, unit string, v int64) {
+		reg.MustGauge(name, unit).Set(float64(v))
+	}
+	es := rt.eng.Stats()
+	set("sim.events_fired", "count", int64(es.Fired))
+	set("sim.actor_steps", "count", int64(es.ActorSteps))
+	set("sim.handoffs", "count", int64(es.Handoffs))
+	ts := rt.pl.Stats()
+	set("tdx.hypercalls", "count", int64(ts.Hypercalls))
+	set("tdx.vmexits", "count", int64(ts.VMExits))
+	set("tdx.mmios", "count", int64(ts.MMIOs))
+	set("tdx.bytes_encrypted", "bytes", ts.BytesEncrypted)
+	set("tdx.bytes_decrypted", "bytes", ts.BytesDecrypted)
+	set("tdx.bytes_staged", "bytes", ts.BytesStaged)
+	set("tdx.encrypt_time", "ns", int64(ts.EncryptTime))
+	set("tdx.decrypt_time", "ns", int64(ts.DecryptTime))
+	set("pcie.h2d_bytes", "bytes", rt.link.BytesMoved(pcie.H2D))
+	set("pcie.d2h_bytes", "bytes", rt.link.BytesMoved(pcie.D2H))
+	set("pcie.h2d_transfers", "count", int64(rt.link.Transfers(pcie.H2D)))
+	set("pcie.d2h_transfers", "count", int64(rt.link.Transfers(pcie.D2H)))
+	set("pcie.h2d_busy", "ns", int64(rt.link.Busy(pcie.H2D)))
+	set("pcie.d2h_busy", "ns", int64(rt.link.Busy(pcie.D2H)))
+	set("pcie.bridge_busy", "ns", int64(rt.link.BridgeBusy()))
+	set("gpu.kernels_run", "count", int64(rt.dev.KernelsRun()))
+	us := rt.dev.UVM().Stats()
+	set("uvm.fault_batches", "count", int64(us.FaultBatches))
+	set("uvm.pages_migrated", "count", us.PagesMigrated)
+	set("uvm.bytes_to_gpu", "bytes", us.BytesToGPU)
+	set("uvm.bytes_to_host", "bytes", us.BytesToHost)
+	set("uvm.evictions", "count", us.Evictions)
 }
 
 // Engine returns the simulation engine.

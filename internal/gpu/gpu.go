@@ -11,6 +11,7 @@ import (
 
 	"hccsim/internal/ccmode"
 	"hccsim/internal/hbm"
+	"hccsim/internal/obs"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
@@ -108,6 +109,9 @@ type Device struct {
 	compute  *sim.Resource // serial kernel execution
 	channels []*Channel
 
+	// obs is the attached observability layer, nil when tracing is off.
+	obs *obs.Observer
+
 	kernelsRun uint64
 }
 
@@ -130,6 +134,15 @@ func New(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, mem *hbm.Allocator,
 		params:  params,
 		cmdproc: sim.NewResource(eng, 1).SetLabel("gpu-cmdproc"),
 		compute: sim.NewResource(eng, conc).SetLabel("gpu-compute"),
+	}
+}
+
+// SetObserver attaches the observability layer; channels created before
+// and after the call all get a per-channel timeline.
+func (d *Device) SetObserver(o *obs.Observer) {
+	d.obs = o
+	for _, ch := range d.channels {
+		ch.trk = o.Track(fmt.Sprintf("gpu-ch%d", ch.id))
 	}
 }
 
@@ -203,13 +216,16 @@ type Channel struct {
 	mai     int       // next managed access of the kernel in flight
 	start   sim.Time  // engine-start time of the command in flight
 	managed bool      // copy in flight was demoted to encrypted paging
+	trk     obs.Track // this channel's timeline (zero when tracing is off)
+	sp      obs.Span  // span of the command in flight
 }
 
 // NewChannel creates and starts a channel.
 func (d *Device) NewChannel() *Channel {
 	name := fmt.Sprintf("gpu-ch%d", len(d.channels))
 	ch := &Channel{dev: d, id: len(d.channels),
-		q: sim.NewQueue[command](d.eng).SetLabel(name)}
+		q:   sim.NewQueue[command](d.eng).SetLabel(name),
+		trk: d.obs.Track(name)}
 	d.channels = append(d.channels, ch)
 	d.eng.SpawnActorDaemon(name, func(a *sim.Actor) {
 		ch.a = a
@@ -325,6 +341,7 @@ func kernelStarted(x any) {
 	ch := x.(*Channel)
 	ch.start = ch.a.Now()
 	ch.mai = 0
+	ch.sp = ch.trk.Begin(ch.kc.spec.Name)
 	kernelFaults(ch)
 }
 
@@ -348,6 +365,7 @@ func kernelDone(x any) {
 	d := ch.dev
 	c := ch.kc
 	ch.kc = kernelCmd{}
+	ch.sp.End()
 	d.compute.Release()
 	d.kernelsRun++
 	if d.tracer != nil {
@@ -363,6 +381,7 @@ func kernelDone(x any) {
 func copyDispatched(x any) {
 	ch := x.(*Channel)
 	ch.start = ch.a.Now()
+	ch.sp = ch.trk.Begin("memcpyAsync").Bytes(ch.cc.bytes)
 	// Zero-byte copies (async D2D markers) complete inline, so the flag
 	// must be down before the call; a real transfer always crosses at
 	// least one DMA sleep, so the assignment lands before copyLanded runs.
@@ -375,6 +394,7 @@ func copyLanded(x any) {
 	d := ch.dev
 	c := ch.cc
 	ch.cc = copyCmd{}
+	ch.sp.End()
 	if d.tracer != nil {
 		kind := c.kind
 		if ch.managed {

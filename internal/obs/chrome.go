@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"hccsim/internal/sim"
+	"hccsim/internal/units"
+)
+
+// ChromeTrace renders the recorded spans as Chrome trace-event JSON, the
+// format Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// The export is deterministic byte-for-byte: timestamps are simulated
+// microseconds (never wall time), tracks appear in registration order with
+// explicit sort indices, sync spans appear in record order (the engine
+// clock is monotonic, so that is chronological), and async scopes follow
+// in first-use order. One "X" (complete) event per span carries its
+// duration and attrs; request-lifecycle phases export as "b"/"e" async
+// pairs keyed by (scope, request id) so overlapping instances render as
+// separate rows of one group.
+func (o *Observer) ChromeTrace() []byte {
+	var b []byte
+	b = append(b, "{\"traceEvents\":[\n"...)
+	b = append(b, `{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"hccsim"}}`...)
+	for i, t := range o.tracks {
+		tid := i + 1
+		b = append(b, ",\n"...)
+		b = append(b, `{"ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"name":"thread_name","args":{"name":`...)
+		b = strconv.AppendQuote(b, t.name)
+		b = append(b, "}}"...)
+		b = append(b, ",\n"...)
+		b = append(b, `{"ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"name":"thread_sort_index","args":{"sort_index":`...)
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, "}}"...)
+	}
+	// Async scopes get one virtual track each, after the real tracks.
+	scopeTID := make(map[string]int)
+	var scopes []string
+	for _, a := range o.asyncs {
+		if _, ok := scopeTID[a.scope]; ok {
+			continue
+		}
+		tid := len(o.tracks) + 1 + len(scopes)
+		scopeTID[a.scope] = tid
+		scopes = append(scopes, a.scope)
+		b = append(b, ",\n"...)
+		b = append(b, `{"ph":"M","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"name":"thread_name","args":{"name":`...)
+		b = strconv.AppendQuote(b, a.scope)
+		b = append(b, "}}"...)
+	}
+	for _, sp := range o.spans {
+		b = append(b, ",\n"...)
+		b = append(b, `{"ph":"X","pid":0,"tid":`...)
+		b = strconv.AppendInt(b, int64(sp.track)+1, 10)
+		b = append(b, `,"ts":`...)
+		b = appendUS(b, sp.start)
+		b = append(b, `,"dur":`...)
+		end := sp.end
+		if end < sp.start {
+			end = sp.start // still open at export: zero duration
+		}
+		b = appendUS(b, end-sp.start)
+		b = append(b, `,"name":`...)
+		b = strconv.AppendQuote(b, sp.name)
+		b = appendArgs(b, sp)
+		b = append(b, "}"...)
+	}
+	for _, a := range o.asyncs {
+		tid := scopeTID[a.scope]
+		b = appendAsync(b, a, "b", a.start, tid)
+		end := a.end
+		if end < a.start {
+			end = a.start
+		}
+		b = appendAsync(b, a, "e", end, tid)
+	}
+	b = append(b, "\n],\n\"displayTimeUnit\":\"ms\",\n\"metrics\":[\n"...)
+	first := true
+	o.reg.Each(func(m MetricPoint) {
+		if !first {
+			b = append(b, ",\n"...)
+		}
+		first = false
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, m.Name)
+		b = append(b, `,"kind":`...)
+		b = strconv.AppendQuote(b, m.Kind.String())
+		b = append(b, `,"unit":`...)
+		b = strconv.AppendQuote(b, m.Unit)
+		switch m.Kind {
+		case KindGauge:
+			b = append(b, `,"value":`...)
+			b = strconv.AppendFloat(b, m.Value, 'g', -1, 64)
+		case KindHistogram:
+			b = append(b, `,"count":`...)
+			b = strconv.AppendInt(b, m.Count, 10)
+			b = append(b, `,"sum":`...)
+			b = strconv.AppendInt(b, m.Sum, 10)
+			b = append(b, `,"min":`...)
+			b = strconv.AppendInt(b, m.Min, 10)
+			b = append(b, `,"max":`...)
+			b = strconv.AppendInt(b, m.Max, 10)
+		default:
+			b = append(b, `,"value":`...)
+			b = strconv.AppendInt(b, m.Count, 10)
+		}
+		b = append(b, "}"...)
+	})
+	b = append(b, "\n]}\n"...)
+	return b
+}
+
+// WriteChromeTrace writes the Chrome trace-event export to w.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	_, err := w.Write(o.ChromeTrace())
+	return err
+}
+
+// appendUS appends a simulated time or duration (nanoseconds) as
+// microseconds with fixed three-decimal precision, the unit the trace
+// format expects.
+func appendUS[T ~int64](b []byte, t T) []byte {
+	return strconv.AppendFloat(b, units.ToUS(time.Duration(t)), 'f', 3, 64)
+}
+
+// appendArgs appends the span's attrs as a fixed-order args object.
+func appendArgs(b []byte, sp span) []byte {
+	if sp.bytes == 0 && sp.n == 0 && sp.req < 0 && sp.mode == "" {
+		return b
+	}
+	b = append(b, `,"args":{`...)
+	sep := false
+	if sp.bytes != 0 {
+		b = append(b, `"bytes":`...)
+		b = strconv.AppendInt(b, sp.bytes, 10)
+		sep = true
+	}
+	if sp.n != 0 {
+		if sep {
+			b = append(b, ',')
+		}
+		b = append(b, `"n":`...)
+		b = strconv.AppendInt(b, sp.n, 10)
+		sep = true
+	}
+	if sp.req >= 0 {
+		if sep {
+			b = append(b, ',')
+		}
+		b = append(b, `"req":`...)
+		b = strconv.AppendInt(b, sp.req, 10)
+		sep = true
+	}
+	if sp.mode != "" {
+		if sep {
+			b = append(b, ',')
+		}
+		b = append(b, `"mode":`...)
+		b = strconv.AppendQuote(b, sp.mode)
+	}
+	b = append(b, "}"...)
+	return b
+}
+
+// appendAsync appends one async begin or end event.
+func appendAsync(b []byte, a asyncSpan, ph string, at sim.Time, tid int) []byte {
+	b = append(b, ",\n"...)
+	b = append(b, `{"ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","pid":0,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, a.scope)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendQuote(b, "0x"+strconv.FormatInt(a.id, 16))
+	b = append(b, `,"ts":`...)
+	b = appendUS(b, at)
+	b = append(b, `,"name":`...)
+	b = strconv.AppendQuote(b, a.name)
+	b = append(b, "}"...)
+	return b
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hccsim/internal/sim"
+)
+
+func newBound(t *testing.T) (*Observer, *sim.Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	o := New()
+	o.Bind(eng)
+	return o, eng
+}
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	tr := o.Track("anything")
+	sp := tr.Begin("op").Bytes(4096).Mode("off").Request(1).Count(2)
+	sp.End()
+	asp := o.BeginAsync("request", 7, "queued")
+	asp.End()
+	o.Metrics().MustCounter("x", "events").Add(3)
+	if o.Spans() != 0 || o.Tracks() != 0 {
+		t.Fatalf("nil observer recorded something")
+	}
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var o *Observer
+	tr := o.Track("hot")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin("op").Bytes(1 << 20)
+		sp.End()
+		o.BeginAsync("request", 1, "queued").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	o, eng := newBound(t)
+	tr := o.Track("layer")
+	eng.Spawn("t", func(p *sim.Proc) {
+		outer := tr.Begin("outer")
+		p.Sleep(10)
+		inner := tr.Begin("inner")
+		p.Sleep(5)
+		inner.End()
+		p.Sleep(10)
+		outer.End()
+	})
+	eng.Run()
+	if got := o.Spans(); got != 2 {
+		t.Fatalf("spans = %d, want 2", got)
+	}
+	if o.spans[0].parent != -1 {
+		t.Errorf("outer parent = %d, want -1", o.spans[0].parent)
+	}
+	if o.spans[1].parent != 0 {
+		t.Errorf("inner parent = %d, want 0 (nested under outer)", o.spans[1].parent)
+	}
+	if o.spans[1].start != 10 || o.spans[1].end != 15 {
+		t.Errorf("inner interval = [%d,%d], want [10,15]", o.spans[1].start, o.spans[1].end)
+	}
+	if o.spans[0].end != 25 {
+		t.Errorf("outer end = %d, want 25", o.spans[0].end)
+	}
+	if got := o.busyOf("layer"); got != 30 {
+		t.Errorf("busy = %v, want 30ns (outer 25 + inner 5)", got)
+	}
+}
+
+func TestTrackRegistrationIsStable(t *testing.T) {
+	o, _ := newBound(t)
+	a := o.Track("alpha")
+	b := o.Track("beta")
+	a2 := o.Track("alpha")
+	if a.id != a2.id {
+		t.Fatalf("re-registering a track changed its id: %d vs %d", a.id, a2.id)
+	}
+	if a.id == b.id {
+		t.Fatalf("distinct tracks share an id")
+	}
+	if o.Tracks() != 2 {
+		t.Fatalf("tracks = %d, want 2", o.Tracks())
+	}
+}
+
+func TestRegistryDupName(t *testing.T) {
+	r := NewRegistry()
+	c1, err := r.Counter("layer.ops", "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: same name, kind, and unit returns the same cell.
+	c2, err := r.Counter("layer.ops", "events")
+	if err != nil {
+		t.Fatalf("idempotent re-registration errored: %v", err)
+	}
+	c1.Add(2)
+	c2.Add(3)
+	if c1.Value() != 5 {
+		t.Errorf("counter cells not shared: %d, want 5", c1.Value())
+	}
+	// Kind conflict errors.
+	if _, err := r.Gauge("layer.ops", "events"); err == nil {
+		t.Error("kind conflict not reported")
+	} else if !strings.Contains(err.Error(), "layer.ops") || !strings.Contains(err.Error(), "counter") {
+		t.Errorf("conflict message unhelpful: %v", err)
+	}
+	// Unit conflict errors.
+	if _, err := r.Counter("layer.ops", "bytes"); err == nil {
+		t.Error("unit conflict not reported")
+	}
+	// Must* panics on conflict (documented contract).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustGauge did not panic on kind conflict")
+			}
+		}()
+		r.MustGauge("layer.ops", "events")
+	}()
+	if r.Len() != 1 {
+		t.Errorf("registry len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryOrderAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("b.second", "events").Add(1)
+	r.MustGauge("a.third", "ratio").Set(0.5)
+	h := r.MustHistogram("c.first", "ns")
+	h.Observe(10)
+	h.Observe(1000)
+	h.Observe(-3) // clamps to 0
+	var names []string
+	r.Each(func(m MetricPoint) { names = append(names, m.Name) })
+	want := []string{"b.second", "a.third", "c.first"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registration order not preserved: %v", names)
+		}
+	}
+	if h.Count() != 3 || h.Sum() != 1010 || h.Min() != 0 || h.Max() != 1000 {
+		t.Errorf("histogram summary n=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+func TestNilRegistryDiscards(t *testing.T) {
+	var r *Registry
+	c, err := r.Counter("x", "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil-registry counter retained a value")
+	}
+	r.Each(func(MetricPoint) { t.Error("nil registry visited an instrument") })
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	o, eng := newBound(t)
+	tr := o.Track("pcie-h2d")
+	eng.Spawn("t", func(p *sim.Proc) {
+		q := o.BeginAsync("request", 3, "queued")
+		sp := tr.Begin("dma").Bytes(1 << 20).Mode("tdx-h100")
+		p.Sleep(1500)
+		sp.End()
+		q.End()
+	})
+	eng.Run()
+	o.Metrics().MustCounter("pcie.h2d_bytes", "bytes").Add(1 << 20)
+	out := string(o.ChromeTrace())
+	for _, want := range []string{
+		`"thread_name","args":{"name":"pcie-h2d"}`,
+		`"ph":"X"`,
+		`"ts":0.000,"dur":1.500,"name":"dma"`,
+		`"args":{"bytes":1048576,"mode":"tdx-h100"}`,
+		`"ph":"b"`, `"ph":"e"`, `"cat":"request"`, `"id":"0x3"`,
+		`{"name":"pcie.h2d_bytes","kind":"counter","unit":"bytes","value":1048576}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestExportsDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		eng := sim.NewEngine()
+		o := New()
+		o.Bind(eng)
+		tr := o.Track("layer")
+		eng.Spawn("t", func(p *sim.Proc) {
+			for i := 0; i < 4; i++ {
+				sp := tr.Begin("op").Bytes(int64(i) << 12).Request(int64(i))
+				p.Sleep(sim.Duration(100 * (i + 1)))
+				sp.End()
+				o.BeginAsync("request", int64(i), "phase").End()
+			}
+		})
+		eng.Run()
+		o.Metrics().MustCounter("ops", "events").Add(4)
+		var sum bytes.Buffer
+		if err := o.WriteSummary(&sum); err != nil {
+			t.Fatal(err)
+		}
+		return string(o.ChromeTrace()), sum.String()
+	}
+	c1, s1 := render()
+	for i := 0; i < 3; i++ {
+		c2, s2 := render()
+		if c1 != c2 {
+			t.Fatalf("chrome export differs across repeats:\n%s\nvs\n%s", c1, c2)
+		}
+		if s1 != s2 {
+			t.Fatalf("summary differs across repeats:\n%s\nvs\n%s", s1, s2)
+		}
+	}
+}

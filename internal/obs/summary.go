@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"hccsim/internal/sim"
+)
+
+// WriteSummary writes the compact per-layer text summary: one line per
+// track (span count, total busy time, bytes moved), the async scopes, and
+// every registered metric in registration order. Like the Chrome export,
+// the output is deterministic byte-for-byte.
+func (o *Observer) WriteSummary(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "track\tspans\tbusy\tbytes\n")
+	for _, t := range o.tracks {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\n", t.name, o.trackSpans(t.name), t.busy, t.bytes)
+	}
+	if len(o.asyncs) > 0 {
+		fmt.Fprintf(tw, "\nscope\tspans\tbusy\n")
+		type scopeAgg struct {
+			name  string
+			n     int
+			total sim.Duration
+		}
+		idx := make(map[string]int)
+		var aggs []scopeAgg
+		for _, a := range o.asyncs {
+			i, ok := idx[a.scope]
+			if !ok {
+				i = len(aggs)
+				idx[a.scope] = i
+				aggs = append(aggs, scopeAgg{name: a.scope})
+			}
+			aggs[i].n++
+			if a.end >= a.start {
+				aggs[i].total += sim.Duration(a.end - a.start)
+			}
+		}
+		for _, s := range aggs {
+			fmt.Fprintf(tw, "%s\t%d\t%v\n", s.name, s.n, s.total)
+		}
+	}
+	if o.reg.Len() > 0 {
+		fmt.Fprintf(tw, "\nmetric\tkind\tvalue\tunit\n")
+		o.reg.Each(func(m MetricPoint) {
+			switch m.Kind {
+			case KindGauge:
+				fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", m.Name, m.Kind,
+					strconv.FormatFloat(m.Value, 'f', -1, 64), m.Unit)
+			case KindHistogram:
+				fmt.Fprintf(tw, "%s\t%s\tn=%d sum=%d min=%d max=%d\t%s\n",
+					m.Name, m.Kind, m.Count, m.Sum, m.Min, m.Max, m.Unit)
+			default:
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", m.Name, m.Kind, m.Count, m.Unit)
+			}
+		})
+	}
+	return tw.Flush()
+}
+
+// trackSpans counts recorded spans on the named track. Export-time only —
+// the hot path never calls it.
+func (o *Observer) trackSpans(name string) int {
+	id, ok := o.byName[name]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, sp := range o.spans {
+		if sp.track == id {
+			n++
+		}
+	}
+	return n
+}
+
+// busyOf is a test hook: total closed-span busy time on a track.
+func (o *Observer) busyOf(name string) time.Duration {
+	if id, ok := o.byName[name]; ok {
+		return o.tracks[id].busy
+	}
+	return 0
+}

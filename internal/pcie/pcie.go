@@ -7,6 +7,7 @@ package pcie
 import (
 	"time"
 
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 	"hccsim/internal/units"
 )
@@ -54,6 +55,10 @@ type Link struct {
 	// bridge modes: one capacity-1 resource spanning BOTH directions, so
 	// H2D and D2H cannot overlap. Created lazily on first use.
 	bridge *sim.Resource
+	// trk holds the per-direction observability timelines and btrk the
+	// bridge timeline; zero Tracks (tracing off) record nothing.
+	trk  [2]obs.Track
+	btrk obs.Track
 }
 
 // NewLink creates a link bound to the engine.
@@ -66,6 +71,15 @@ func NewLink(eng *sim.Engine, params Params) *Link {
 			sim.NewResource(eng, 1).SetLabel("pcie-d2h"),
 		},
 	}
+}
+
+// SetObserver attaches the observability layer, registering one timeline
+// per DMA direction plus the serialized bridge (registered eagerly so
+// track ordering never depends on which paths a run exercises).
+func (l *Link) SetObserver(o *obs.Observer) {
+	l.trk[H2D] = o.Track("pcie-h2d")
+	l.trk[D2H] = o.Track("pcie-d2h")
+	l.btrk = o.Track("pcie-bridge")
 }
 
 // Params returns the link constants.
@@ -94,6 +108,7 @@ type xferFrame struct {
 	l     *Link
 	d     Direction
 	n     int64
+	sp    obs.Span
 	step  func(any)
 	state any
 }
@@ -103,11 +118,13 @@ type xferFrame struct {
 func (l *Link) TransferA(a *sim.Actor, d Direction, n int64, step func(any), state any) {
 	f := l.frames.Get()
 	f.l, f.d, f.n, f.step, f.state = l, d, n, step, state
+	f.sp = l.trk[d].Begin("dma").Bytes(n)
 	l.dir[d].UseA(a, l.TransferTime(n), xferDone, f)
 }
 
 func xferDone(x any) {
 	f := x.(*xferFrame)
+	f.sp.End()
 	l, d, n, step, state := f.l, f.d, f.n, f.step, f.state
 	l.frames.Put(f)
 	l.moved[d] += n
@@ -141,6 +158,7 @@ func (l *Link) BridgeTransferA(a *sim.Actor, d Direction, n int64, gbps float64,
 	t := l.params.TransactionLatency + perTLP + units.StreamDuration(n, gbps)
 	f := l.frames.Get()
 	f.l, f.d, f.n, f.step, f.state = l, d, n, step, state
+	f.sp = l.btrk.Begin("bridge-dma").Bytes(n)
 	l.bridge.UseA(a, t, xferDone, f)
 }
 

@@ -3,6 +3,8 @@ package serve
 import (
 	"math"
 	"time"
+
+	"hccsim/internal/obs"
 )
 
 // rng is a splitmix64 PRNG. The generator is written out here rather than
@@ -47,6 +49,7 @@ type request struct {
 	kvBlocks     []int64
 	swappedOut   bool // preempted: KV lives host-side, swap in on re-admit
 	preemptions  int
+	asp          obs.AsyncSpan // lifecycle interval, arrival -> done/reject
 }
 
 // simTime is simulated nanoseconds since engine start (mirrors sim.Time

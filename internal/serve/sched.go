@@ -5,6 +5,7 @@ import (
 
 	"hccsim/internal/cuda"
 	"hccsim/internal/nn"
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 )
 
@@ -70,6 +71,13 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, sys)
+	if cfg.Observer != nil {
+		// The run owns its engine, so the observer is bound here rather
+		// than by the caller; substrate tracks register before the
+		// scheduler's own, keeping export order fixed.
+		cfg.Observer.Bind(eng)
+		rt.SetObserver(cfg.Observer)
+	}
 	waiting := sim.NewQueue[*request](eng).SetLabel("serve-waiting")
 	ready := sim.NewSignal(eng).SetLabel("serve-ready")
 
@@ -88,6 +96,7 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 				rep.Rejected++
 				continue
 			}
+			s.asp = cfg.Observer.BeginAsync("request", int64(s.id), "request")
 			waiting.Put(s)
 		}
 		waiting.Put(nil) // sentinel: offered load is done
@@ -96,6 +105,7 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 	l := &schedLoop{
 		cfg: cfg, kv: kv, waiting: waiting, rep: &rep, model: model,
 		hostCost: hostCost, tokenBytes: tokenBytes,
+		trk: cfg.Observer.Track("serve-sched"),
 	}
 	eng.Spawn("serve:scheduler", func(p *sim.Proc) {
 		c := rt.Bind(p)
@@ -167,6 +177,23 @@ func schedule(cfg Config, sys cuda.Config, quant nn.Quant, model *costModel, wl 
 	rep.TTFT = summarize(&ttft)
 	rep.TPOT = summarize(&tpot)
 	rep.E2E = summarize(&e2e)
+	if cfg.Observer != nil {
+		rt.PublishMetrics()
+		reg := cfg.Observer.Metrics()
+		g := func(name, unit string, v float64) {
+			reg.MustGauge(name, unit).Set(v)
+		}
+		g("serve.offered", "count", float64(rep.Offered))
+		g("serve.completed", "count", float64(rep.Completed))
+		g("serve.rejected", "count", float64(rep.Rejected))
+		g("serve.preemptions", "count", float64(rep.Preemptions))
+		g("serve.swap_out_bytes", "bytes", float64(rep.SwapOutBytes))
+		g("serve.swap_in_bytes", "bytes", float64(rep.SwapInBytes))
+		g("serve.prefill_iters", "count", float64(rep.PrefillIters))
+		g("serve.decode_iters", "count", float64(rep.DecodeIters))
+		g("serve.kv_peak_bytes", "bytes", float64(rep.KVPeakBytes))
+		g("serve.queue_peak_depth", "count", float64(rep.QueuePeakDepth))
+	}
 	return rep
 }
 
@@ -190,6 +217,12 @@ type schedLoop struct {
 	tokenBytes int64
 
 	dKV, dIO, hIO, hSwap *cuda.Buffer
+
+	// trk is the scheduler's timeline; itsp spans the iteration in flight
+	// and swapSp the preemption copy in flight (zero when tracing is off).
+	trk    obs.Track
+	itsp   obs.Span
+	swapSp obs.Span
 
 	running    []*request
 	genDone    bool
@@ -230,6 +263,7 @@ func schedAdmitNext(x any) {
 		if !l.kv.fitsEver(s.promptTokens + s.outputTokens) {
 			s.rejected = true
 			l.rep.Rejected++
+			s.asp.End()
 			continue
 		}
 		resident := s.promptTokens + s.generated
@@ -247,6 +281,7 @@ func schedAdmitNext(x any) {
 		if s.swappedOut {
 			// Swap the preempted KV back in (H2D) and resume decoding.
 			l.swap = s
+			l.swapSp = l.trk.Begin("swap-in").Bytes(int64(s.kvTokens) * l.tokenBytes).Request(int64(s.id))
 			l.c.MemcpyA(l.a, l.dKV, l.hSwap, int64(s.kvTokens)*l.tokenBytes, schedSwappedIn, l)
 			return
 		}
@@ -261,6 +296,8 @@ func schedSwappedIn(x any) {
 	l := x.(*schedLoop)
 	s := l.swap
 	l.swap = nil
+	l.swapSp.End()
+	l.swapSp = obs.Span{}
 	l.rep.SwapInBytes += int64(s.kvTokens) * l.tokenBytes
 	s.swappedOut = false
 	l.running = append(l.running, s)
@@ -274,10 +311,12 @@ func schedIterate(x any) {
 	case len(l.admitted) > 0:
 		// Prefill iteration over the admitted prompts.
 		l.rep.PrefillIters++
+		l.itsp = l.trk.Begin("prefill").Count(int64(l.prefillTokens))
 		l.c.MemcpyA(l.a, l.dIO, l.hIO, int64(l.prefillTokens)*tokenIDBytes, schedPrefillIDsUp, l) // prompt ids H2D
 	case len(l.running) > 0:
 		// Decode iteration: one token per running sequence.
 		l.rep.DecodeIters++
+		l.itsp = l.trk.Begin("decode").Count(int64(len(l.running)))
 		l.di = 0
 		schedDecodeGrow(l)
 	case l.genDone && l.waiting.Len() == 0:
@@ -325,6 +364,7 @@ func schedPrefillIDsDown(x any) {
 			l.kv.release(s)
 			l.rep.Completed++
 			l.lastDoneAt = l.a.Now()
+			s.asp.End()
 		}
 	}
 	keep := l.running[:0]
@@ -334,6 +374,7 @@ func schedPrefillIDsDown(x any) {
 		}
 	}
 	l.running = keep
+	l.itsp.End()
 	schedAdmit(l)
 }
 
@@ -360,6 +401,7 @@ func schedDecodeGrow(x any) {
 				l.di--
 			}
 			l.swap = victim
+			l.swapSp = l.trk.Begin("swap-out").Bytes(int64(victim.kvTokens) * l.tokenBytes).Request(int64(victim.id))
 			l.c.MemcpyA(l.a, l.hSwap, l.dKV, int64(victim.kvTokens)*l.tokenBytes, schedPreempted, l) // swap out D2H
 			return
 		}
@@ -373,6 +415,8 @@ func schedPreempted(x any) {
 	l := x.(*schedLoop)
 	v := l.swap
 	l.swap = nil
+	l.swapSp.End()
+	l.swapSp = obs.Span{}
 	l.kv.release(v)
 	v.swappedOut = true
 	v.preemptions++
@@ -410,10 +454,12 @@ func schedDecodeIDsDown(x any) {
 			l.kv.release(s)
 			l.rep.Completed++
 			l.lastDoneAt = l.a.Now()
+			s.asp.End()
 		} else {
 			keep = append(keep, s)
 		}
 	}
 	l.running = keep
+	l.itsp.End()
 	schedAdmit(l)
 }

@@ -20,6 +20,7 @@ import (
 
 	"hccsim/internal/cuda"
 	"hccsim/internal/nn"
+	"hccsim/internal/obs"
 )
 
 // LengthDist is a token-length distribution: fixed at Mean when Spread is
@@ -107,6 +108,13 @@ type Config struct {
 	// SLO is the latency objective; defaults TTFT 1.5s, TPOT 40ms,
 	// TargetFrac 0.95.
 	SLO SLO
+
+	// Observer optionally attaches the observability layer: the run binds
+	// it to its private engine, opens scheduler-iteration and request-
+	// lifecycle spans, and publishes the end-of-run counters into its
+	// metrics registry. Nil (the default) records nothing and costs one
+	// nil check per would-be span.
+	Observer *obs.Observer
 }
 
 // Defaults mirroring DESIGN.md §10.

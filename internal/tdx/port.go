@@ -2,6 +2,7 @@ package tdx
 
 import (
 	"hccsim/internal/ccmode"
+	"hccsim/internal/obs"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 )
@@ -41,6 +42,10 @@ func CCDirection(d pcie.Direction) ccmode.Direction {
 
 // Engine implements ccmode.Port.
 func (pt Port) Engine() *sim.Engine { return pt.pl.eng }
+
+// Observer implements ccmode.Port: the platform-wide observability layer,
+// nil when tracing is off.
+func (pt Port) Observer() *obs.Observer { return pt.pl.obs }
 
 // Encrypt implements ccmode.Port.
 func (pt Port) Encrypt(p *sim.Proc, n int64) { pt.pl.Encrypt(p, n) }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hccsim/internal/ccmode"
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 	"hccsim/internal/swcrypto"
 	"hccsim/internal/units"
@@ -119,6 +120,13 @@ type Platform struct {
 	bounceWait   []*bounceWaiter
 	stats        Stats
 
+	// obs is the attached observability layer (nil when tracing is off);
+	// ctrk/btrk are its crypto-worker and bounce-pool timelines. The zero
+	// Track records nothing, so span sites stay unconditional.
+	obs  *obs.Observer
+	ctrk obs.Track
+	btrk obs.Track
+
 	cryptFrames  sim.FramePool[cryptFrame]
 	bounceFrames sim.FramePool[bounceFrame]
 }
@@ -158,6 +166,19 @@ func NewPlatform(eng *sim.Engine, mode ccmode.Mode, params Params) *Platform {
 func NewLegacyPlatform(eng *sim.Engine, cc bool, params Params) *Platform {
 	return NewPlatform(eng, ccmode.Legacy(cc, params.TEEIO), params)
 }
+
+// SetObserver attaches the observability layer and registers the
+// platform's timelines. Call before the run starts; a nil observer
+// detaches.
+func (pl *Platform) SetObserver(o *obs.Observer) {
+	pl.obs = o
+	pl.ctrk = o.Track("tdx-crypto")
+	pl.btrk = o.Track("tdx-bounce")
+}
+
+// Observer returns the attached observability layer (nil when off). It
+// implements part of ccmode.Port via the port adapter.
+func (pl *Platform) Observer() *obs.Observer { return pl.obs }
 
 // Mode returns the platform's protection mode.
 func (pl *Platform) Mode() ccmode.Mode { return pl.mode }
@@ -307,6 +328,7 @@ type bounceFrame struct {
 	pl    *Platform
 	a     *sim.Actor
 	n     int64
+	sp    obs.Span
 	step  func(any)
 	state any
 }
@@ -327,6 +349,7 @@ func (pl *Platform) BounceAcquireA(a *sim.Actor, n int64, step func(any), state 
 	pl.stats.DMAMaps++
 	f := pl.bounceFrames.Get()
 	f.pl, f.a, f.n, f.step, f.state = pl, a, n, step, state
+	f.sp = pl.btrk.Begin("bounce-acquire").Bytes(n)
 	a.Sleep(pl.params.DMAMapBase, bounceMapped, f)
 }
 
@@ -340,6 +363,7 @@ func bounceMapped(x any) {
 		return
 	}
 	pl.bounceUsed += f.n
+	f.sp.End()
 	step, state := f.step, f.state
 	pl.bounceFrames.Put(f)
 	step(state)
@@ -397,6 +421,7 @@ type cryptFrame struct {
 	n       int64
 	d       time.Duration
 	decrypt bool
+	sp      obs.Span
 	step    func(any)
 	state   any
 }
@@ -424,6 +449,11 @@ func (pl *Platform) cryptA(a *sim.Actor, n int64, decrypt bool, step func(any), 
 	d := pl.crypto.Time(n)
 	f := pl.cryptFrames.Get()
 	f.pl, f.n, f.d, f.decrypt, f.step, f.state = pl, n, d, decrypt, step, state
+	if decrypt {
+		f.sp = pl.ctrk.Begin("decrypt").Bytes(n)
+	} else {
+		f.sp = pl.ctrk.Begin("encrypt").Bytes(n)
+	}
 	pl.cryptoWorker.UseA(a, d, cryptDone, f)
 }
 
@@ -437,6 +467,7 @@ func cryptDone(x any) {
 		pl.stats.BytesEncrypted += f.n
 		pl.stats.EncryptTime += f.d
 	}
+	f.sp.End()
 	pl.cryptFrames.Put(f)
 	step(state)
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hccsim/internal/ccmode"
+	"hccsim/internal/obs"
 	"hccsim/internal/pcie"
 	"hccsim/internal/sim"
 	"hccsim/internal/tdx"
@@ -62,6 +63,7 @@ type Manager struct {
 	port   tdx.Port
 	params Params
 	tracer *trace.Tracer // optional; fault batches are recorded when set
+	trk    obs.Track     // paging timeline; the zero Track when tracing is off
 
 	ranges        []*Range
 	residentBytes int64
@@ -88,6 +90,10 @@ func NewManager(eng *sim.Engine, pl *tdx.Platform, link *pcie.Link, params Param
 
 // SetTracer attaches a tracer; subsequent fault batches are recorded.
 func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
+
+// SetObserver attaches the observability layer; fault batches, prefetches
+// and write-backs open spans on the "uvm" timeline.
+func (m *Manager) SetObserver(o *obs.Observer) { m.trk = o.Track("uvm") }
 
 // SetResidentLimit caps device-resident managed bytes; exceeding it evicts
 // least-recently-used ranges page ranges.
@@ -272,6 +278,7 @@ type prefetchFrame struct {
 	end     int
 	n       int64 // bytes in the batch in flight
 	startT  sim.Time
+	sp      obs.Span
 	step    func(any)
 	state   any
 }
@@ -323,6 +330,7 @@ func prefetchNext(x any) {
 	f.end = end
 	f.n = int64(end-f.start) * m.params.PageBytes
 	f.startT = m.eng.Now()
+	f.sp = m.trk.Begin("prefetch").Bytes(f.n)
 	m.mode.MigrateA(m.port, f.a, ccmode.H2D, f.n, prefetchMoved, f)
 }
 
@@ -344,6 +352,7 @@ func prefetchMoved(x any) {
 func prefetchEvicted(x any) {
 	f := x.(*prefetchFrame)
 	m := f.m
+	f.sp.End()
 	if m.tracer != nil {
 		m.tracer.Record(trace.Event{
 			Kind: trace.KindFaultBatch, Name: "uvm-prefetch",
@@ -439,6 +448,7 @@ type migrateFrame struct {
 	toHost  bool
 	startT  sim.Time
 	hc      int // hypercall round trips still to charge
+	sp      obs.Span
 	step    func(any)
 	state   any
 }
@@ -451,6 +461,7 @@ func (m *Manager) migrateToGPUA(a *sim.Actor, r *Range, pageIdx []int, bytes int
 	f := m.migFrames.Get()
 	f.m, f.a, f.r, f.pageIdx, f.bytes, f.step, f.state = m, a, r, pageIdx, bytes, step, state
 	f.startT = m.eng.Now()
+	f.sp = m.trk.Begin("fault-batch").Bytes(bytes).Count(int64(len(pageIdx)))
 	f.hc = m.mode.FaultHypercalls(m.params.CCFaultHypercalls)
 	a.Sleep(m.params.FaultService, migServiced, f)
 }
@@ -462,6 +473,7 @@ func (m *Manager) migrateToHostA(a *sim.Actor, bytes int64, step func(any), stat
 	f := m.migFrames.Get()
 	f.m, f.a, f.bytes, f.toHost, f.step, f.state = m, a, bytes, true, step, state
 	f.startT = m.eng.Now()
+	f.sp = m.trk.Begin("writeback").Bytes(bytes)
 	f.hc = m.mode.FaultHypercalls(m.params.CCFaultHypercalls)
 	a.Sleep(m.params.FaultService, migServiced, f)
 }
@@ -486,6 +498,7 @@ func migMoved(x any) {
 	f := x.(*migrateFrame)
 	m := f.m
 	if f.toHost {
+		f.sp.End()
 		m.stats.FaultBatches++
 		m.stats.BytesToHost += f.bytes
 		if m.tracer != nil {
@@ -515,6 +528,7 @@ func migMoved(x any) {
 func migEvicted(x any) {
 	f := x.(*migrateFrame)
 	m := f.m
+	f.sp.End()
 	if m.tracer != nil {
 		m.tracer.Record(trace.Event{
 			Kind: trace.KindFaultBatch, Name: "uvm-migrate",

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"hccsim/internal/cuda"
+	"hccsim/internal/obs"
 	"hccsim/internal/sim"
 )
 
@@ -20,12 +21,28 @@ type Result struct {
 // runtime (with its trace) for analysis. cfg is usually
 // cuda.DefaultConfig(cc); pass a modified config for sweeps.
 func Execute(spec Spec, mode Mode, cfg cuda.Config) Result {
+	return ExecuteObserved(spec, mode, cfg, nil)
+}
+
+// ExecuteObserved is Execute with an observability layer attached for the
+// whole run: the observer is bound to the fresh engine before the host
+// process spawns, every substrate opens spans on it, and the end-of-run
+// counters are published into its metrics registry. A nil observer records
+// nothing (plain Execute).
+func ExecuteObserved(spec Spec, mode Mode, cfg cuda.Config, o *obs.Observer) Result {
 	eng := sim.NewEngine()
 	rt := cuda.New(eng, cfg)
+	if o != nil {
+		o.Bind(eng)
+		rt.SetObserver(o)
+	}
 	eng.Spawn("host:"+spec.Name, func(p *sim.Proc) {
 		spec.Run(rt.Bind(p), mode)
 	})
 	end := eng.Run()
+	if o != nil {
+		rt.PublishMetrics()
+	}
 	return Result{
 		Spec: spec, Mode: mode,
 		CCMode: rt.Mode().Name(), CC: rt.CC(),
